@@ -1,0 +1,426 @@
+module Nodeset = Lbc_graph.Nodeset
+module G = Lbc_graph.Graph
+module Flood = Lbc_flood.Flood
+module Packing = Lbc_flood.Packing
+module Engine = Lbc_sim.Engine
+module Strategy = Lbc_adversary.Strategy
+
+type report = int * Bit.t Flood.wire
+(* (z, m): "node z transmitted message m in phase 1". *)
+
+type node_report = { type_a : bool; detected : Nodeset.t; decision : Bit.t }
+
+type traced = {
+  outcome : Spec.outcome;
+  node_reports : node_report option array;
+  store1 : Bit.t Flood.store option array;
+  heard : (int * Bit.t Flood.wire) list array;
+  store2 : report list Flood.store option array;
+}
+
+(* Phase 1 runs one extra delivery round: a relay accepted in the final
+   flooding round is still transmitted, and the neighbours' reports must
+   include it — otherwise omission evidence would falsely accuse honest
+   nodes of exactly the maximal-length forwards. Phases 2 and 3 need no
+   extra round (only their *deliveries* matter). *)
+let rounds ~g = (3 * G.size g) + 1
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: flood inputs, logging everything heard for phase 2.        *)
+(* ------------------------------------------------------------------ *)
+
+type p1_out = {
+  store1 : Bit.t Flood.store;
+  mutable heard_rev : (int * Bit.t Flood.wire) list;
+      (* timing-valid receptions only, reverse-chronological *)
+}
+
+(* Only timing-valid transmissions count as observations: a k-hop
+   annotation is honest only when heard in round k+1 (see Flood.handle's
+   rule (i) timing check). Everything else is fabrication that no honest
+   node acts on, so reporting it would only pollute attribution. *)
+let timing_valid ~heard_round (m : Bit.t Flood.wire) =
+  List.length m.Flood.path = heard_round - 1
+
+let phase1_proc g ~me ~input =
+  let store1 = Flood.create g ~me ~initiate:input ~default:Bit.default () in
+  let st = { store1; heard_rev = [] } in
+  let inner = Flood.proc store1 in
+  let step ~round ~inbox =
+    List.iter
+      (fun (sender, m) ->
+        if timing_valid ~heard_round:round m then
+          st.heard_rev <- (sender, m) :: st.heard_rev)
+      inbox;
+    inner.Engine.step ~round ~inbox
+  in
+  { Engine.step; output = (fun () -> st) }
+
+(* Everything [who] heard in phase 1, with silent neighbours replaced by
+   the default initiation, exactly as the flooding rule treats them. *)
+let with_defaults g ~who heard =
+  let initiated =
+    List.filter_map
+      (fun (z, (m : Bit.t Flood.wire)) -> if m.Flood.path = [] then Some z else None)
+      heard
+    |> Nodeset.of_list
+  in
+  let missing =
+    List.filter
+      (fun w -> not (Nodeset.mem w initiated))
+      (G.neighbor_list g who)
+  in
+  heard
+  @ List.map (fun w -> (w, { Flood.value = Bit.default; path = [] })) missing
+
+let reports_of g ~who heard : report list =
+  List.sort_uniq compare (with_defaults g ~who heard)
+
+(* A faulty node's heard log, reconstructed from the recorded phase-1
+   transcript (it hears every broadcast by a neighbour); like honest
+   nodes, only timing-valid transmissions are kept. *)
+let heard_from_transcript g ~who transcript =
+  List.filter_map
+    (fun (round, sender, d) ->
+      match d with
+      | Engine.Broadcast m
+        when G.mem_edge g sender who
+             && timing_valid ~heard_round:(round + 1) m ->
+          Some (sender, m)
+      | Engine.Broadcast _ | Engine.Unicast _ -> None)
+    transcript
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: attribution and fault discovery.                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Attribution index at node [me].
+
+   Positive attribution — "me reliably learns z transmitted m": the
+   bitmasks of the z->me delivery paths whose reporter (z's neighbour,
+   first path member) claims (z, m); Definition C.1 asks for f+1
+   disjoint supporting paths, and the pigeonhole over whole records makes
+   the answer genuine.
+
+   Negative attribution — "me reliably learns z transmitted NOTHING whose
+   path annotation is π": same structure, counting the disjoint reporter
+   paths whose (entire, indivisible) report list contains no (z, ·-with-
+   path-π) entry. One of f+1 disjoint such records is fault-free, so its
+   report list is the reporter's genuine observation and z's silence on
+   that key is real. Needed because the paper's fault discovery as
+   literally stated only catches tampering ("forwarded 1−b") — a relay
+   that omits the forward breaks Lemma C.4 undetected (found by our
+   adversarial sweep; see DESIGN.md). *)
+type attribution = {
+  sent : f:int -> z:int -> m:Bit.t Flood.wire -> bool;
+  silent_on : f:int -> z:int -> path:int list -> bool;
+}
+
+let attribution_index g ~me ~heard ~store2 =
+  let direct = Hashtbl.create 256 in
+  List.iter
+    (fun ((z, m) : report) -> Hashtbl.replace direct (z, m) ())
+    (with_defaults g ~who:me heard);
+  let supports : (report, int list) Hashtbl.t = Hashtbl.create 256 in
+  (* per reporter: (disjointness mask, claim-key table) per record *)
+  let by_reporter : (int, int * (int * int list, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (reporter, path, (reports : report list)) ->
+      let mask = Packing.mask_of_nodes (List.filter (( <> ) me) path) in
+      let keys = Hashtbl.create (List.length reports + 1) in
+      List.iter
+        (fun ((z, m) as claim) ->
+          Hashtbl.replace keys (z, m.Flood.path) ();
+          if G.mem_edge g z reporter && z <> me && not (List.mem z path) then begin
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt supports claim)
+            in
+            Hashtbl.replace supports claim (mask :: prev)
+          end)
+        reports;
+      Hashtbl.add by_reporter reporter (mask, keys))
+    (Flood.records store2);
+  let heard_keys = Hashtbl.create 256 in
+  List.iter
+    (fun ((z, m) : report) -> Hashtbl.replace heard_keys (z, m.Flood.path) ())
+    (with_defaults g ~who:me heard);
+  let silent_cache = Hashtbl.create 256 in
+  let sent ~f ~z ~(m : Bit.t Flood.wire) =
+    if z = me then false (* a node never accuses itself *)
+    else if G.mem_edge g z me then Hashtbl.mem direct (z, m)
+    else
+      match Hashtbl.find_opt supports (z, m) with
+      | None -> false
+      | Some masks -> Packing.count masks ~limit:(f + 1) >= f + 1
+  in
+  let silent_on ~f ~z ~path =
+    if z = me then false
+    else if G.mem_edge g z me then not (Hashtbl.mem heard_keys (z, path))
+    else
+      match Hashtbl.find_opt silent_cache (z, path) with
+      | Some r -> r
+      | None ->
+          let masks = ref [] in
+          Nodeset.iter
+            (fun y ->
+              List.iter
+                (fun (mask, keys) ->
+                  if not (Hashtbl.mem keys (z, path)) then
+                    (* the record's path must avoid z for z::path to be a
+                       simple z->me delivery path; z's bit in the mask
+                       detects membership (me itself is excluded) *)
+                    if mask land (1 lsl z) = 0 then masks := mask :: !masks)
+                (Hashtbl.find_all by_reporter y))
+            (G.neighbors g z);
+          let r = Packing.count !masks ~limit:(f + 1) >= f + 1 in
+          Hashtbl.replace silent_cache (z, path) r;
+          r
+  in
+  { sent; silent_on }
+
+let discover g ~f ~me ~store1 ~(learns : attribution)
+    ?(trace = fun ~w:_ ~u:_ ~path:_ ~z:_ ~kind:_ -> ()) () =
+  let detected = ref Nodeset.empty in
+  let n = G.size g in
+  for w = 0 to n - 1 do
+    List.iter
+      (fun b ->
+        let bbar = Bit.flip b in
+        for u = 0 to n - 1 do
+          if u <> w then begin
+            let paths =
+              Lbc_graph.Disjoint.disjoint_uv_paths ~limit:(2 * f) g ~u:w ~v:u
+            in
+            List.iter
+              (fun p ->
+                (* Scan w..u; the transmitted message of the node at
+                   position i carries the path prefix before it. The first
+                   node with reliable tamper OR omission evidence is
+                   provably faulty. *)
+                let rec scan prefix_rev = function
+                  | [] -> ()
+                  | z :: rest ->
+                      let prefix = List.rev prefix_rev in
+                      if
+                        z <> me
+                        && learns.sent ~f ~z
+                             ~m:{ Flood.value = bbar; path = prefix }
+                      then begin
+                        trace ~w ~u ~path:p ~z ~kind:"tamper";
+                        detected := Nodeset.add z !detected
+                      end
+                      else if
+                        z <> me && learns.silent_on ~f ~z ~path:prefix
+                      then begin
+                        trace ~w ~u ~path:p ~z ~kind:"omission";
+                        detected := Nodeset.add z !detected
+                      end
+                      else scan (z :: prefix_rev) rest
+                in
+                scan [] p)
+              paths
+          end
+        done)
+      (Flood.reliable_values ~f store1 ~origin:w)
+  done;
+  !detected
+
+(* ------------------------------------------------------------------ *)
+(* Phase 3: decision.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let type_b_decision g ~f ~store1 =
+  let vals =
+    List.concat_map
+      (fun w -> Flood.reliable_values ~f store1 ~origin:w)
+      (G.nodes g)
+  in
+  Bit.majority vals
+
+(* Type A: adopt a phase-3 decision received from a non-faulty node along
+   a fault-free path, else majority of the non-faulty inputs read along
+   fault-free phase-1 paths. *)
+let type_a_decision g ~me ~detected ~store1 ~store3 =
+  let candidate =
+    Flood.records store3
+    |> List.filter (fun (origin, path, _) ->
+           origin <> me
+           && (not (Nodeset.mem origin detected))
+           && G.path_excludes path detected)
+    |> List.sort compare
+  in
+  match candidate with
+  | (_, _, delta) :: _ -> delta
+  | [] ->
+      let vals =
+        List.filter_map
+          (fun w ->
+            if Nodeset.mem w detected || w = me then None
+            else
+              match
+                Lbc_graph.Traversal.shortest_path ~exclude:detected g ~src:w
+                  ~dst:me
+              with
+              | None -> None
+              | Some path -> Flood.value_along store1 ~path)
+          (G.nodes g)
+      in
+      let own = Option.to_list (Flood.own_value store1) in
+      Bit.majority (own @ vals)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let flip_reports (reports : report list) : report list =
+  List.map
+    (fun (z, (m : Bit.t Flood.wire)) ->
+      (z, { m with Flood.value = Bit.flip m.Flood.value }))
+    reports
+
+let run_traced ~g ~f ~inputs ~faulty
+    ?(strategy = fun _ -> Strategy.Flip_forwards) ?(seed = 0) () =
+  let n = G.size g in
+  if Array.length inputs <> n then
+    invalid_arg "Algorithm2.run: inputs length mismatch";
+  if f < 0 then invalid_arg "Algorithm2.run: negative f";
+  let topo = Engine.topology_of_graph g in
+  let per_phase = Flood.rounds_needed g in
+  let is_faulty v = Nodeset.mem v faulty in
+  (* Phase 1 *)
+  let roles1 =
+    Array.init n (fun v ->
+        if is_faulty v then
+          Engine.Faulty
+            (Strategy.fstep (strategy v) ~g ~me:v ~input:inputs.(v)
+               ~default:Bit.default ~flip:Bit.flip ~seed)
+        else Engine.Honest (phase1_proc g ~me:v ~input:inputs.(v)))
+  in
+  let r1 =
+    Engine.run ~record:true topo ~model:Engine.Local_broadcast
+      ~rounds:(per_phase + 1) ~roles:roles1
+  in
+  let p1 v =
+    match r1.Engine.outputs.(v) with
+    | Some st -> st
+    | None -> invalid_arg "Algorithm2: missing phase-1 state"
+  in
+  (* Phase 2 *)
+  let reports v =
+    if is_faulty v then
+      reports_of g ~who:v (heard_from_transcript g ~who:v r1.Engine.transcript)
+    else reports_of g ~who:v (List.rev (p1 v).heard_rev)
+  in
+  let roles2 =
+    Array.init n (fun v ->
+        if is_faulty v then
+          Engine.Faulty
+            (Strategy.fstep (strategy v) ~g ~me:v ~input:(reports v)
+               ~default:[] ~flip:flip_reports ~seed:(seed + 1))
+        else
+          Engine.Honest
+            (Flood.proc
+               (Flood.create g ~me:v ~initiate:(reports v) ~default:[] ())))
+  in
+  let r2 =
+    Engine.run topo ~model:Engine.Local_broadcast ~rounds:per_phase
+      ~roles:roles2
+  in
+  (* Fault discovery at each honest node *)
+  let detected =
+    Array.init n (fun v ->
+        if is_faulty v then Nodeset.empty
+        else begin
+          let store2 =
+            match r2.Engine.outputs.(v) with
+            | Some s -> s
+            | None -> invalid_arg "Algorithm2: missing phase-2 store"
+          in
+          let learns =
+            attribution_index g ~me:v ~heard:(List.rev (p1 v).heard_rev)
+              ~store2
+          in
+          discover g ~f ~me:v ~store1:(p1 v).store1 ~learns ()
+        end)
+  in
+  let is_type_a v = Nodeset.cardinal detected.(v) = f in
+  let b_decision =
+    Array.init n (fun v ->
+        if is_faulty v || is_type_a v then None
+        else Some (type_b_decision g ~f ~store1:(p1 v).store1))
+  in
+  (* Phase 3 *)
+  let roles3 =
+    Array.init n (fun v ->
+        if is_faulty v then
+          Engine.Faulty
+            (Strategy.fstep (strategy v) ~g ~me:v ~input:inputs.(v)
+               ~default:Bit.default ~flip:Bit.flip ~seed:(seed + 2))
+        else
+          Engine.Honest
+            (Flood.proc (Flood.create g ~me:v ?initiate:b_decision.(v) ())))
+  in
+  let r3 =
+    Engine.run topo ~model:Engine.Local_broadcast ~rounds:per_phase
+      ~roles:roles3
+  in
+  let decision =
+    Array.init n (fun v ->
+        if is_faulty v then None
+        else
+          match b_decision.(v) with
+          | Some d -> Some d
+          | None ->
+              let store3 =
+                match r3.Engine.outputs.(v) with
+                | Some s -> s
+                | None -> invalid_arg "Algorithm2: missing phase-3 store"
+              in
+              Some
+                (type_a_decision g ~me:v ~detected:detected.(v)
+                   ~store1:(p1 v).store1 ~store3))
+  in
+  let stats = [ r1.Engine.stats; r2.Engine.stats; r3.Engine.stats ] in
+  let sum field = List.fold_left (fun acc s -> acc + field s) 0 stats in
+  let outcome =
+    {
+      Spec.outputs = decision;
+      faulty;
+      inputs;
+      rounds = sum (fun s -> s.Engine.rounds);
+      phases = 3;
+      transmissions = sum (fun s -> s.Engine.transmissions);
+      deliveries = sum (fun s -> s.Engine.deliveries);
+    }
+  in
+  let node_reports =
+    Array.init n (fun v ->
+        if is_faulty v then None
+        else
+          Some
+            {
+              type_a = is_type_a v;
+              detected = detected.(v);
+              decision = Option.get decision.(v);
+            })
+  in
+  {
+    outcome;
+    node_reports;
+    store1 =
+      Array.init n (fun v ->
+          if is_faulty v then None else Some (p1 v).store1);
+    heard =
+      Array.init n (fun v ->
+          if is_faulty v then [] else List.rev (p1 v).heard_rev);
+    store2 = r2.Engine.outputs;
+  }
+
+let run_detailed ~g ~f ~inputs ~faulty ?strategy ?seed () =
+  let t = run_traced ~g ~f ~inputs ~faulty ?strategy ?seed () in
+  (t.outcome, t.node_reports)
+
+let run ~g ~f ~inputs ~faulty ?strategy ?seed () =
+  fst (run_detailed ~g ~f ~inputs ~faulty ?strategy ?seed ())

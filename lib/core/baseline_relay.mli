@@ -1,0 +1,36 @@
+(** Baseline: point-to-point Byzantine consensus on incomplete graphs via
+    Dolev-style relaying (Dolev'82, the comparison point of Theorem 4.1).
+
+    Under the classical point-to-point model, consensus on an incomplete
+    graph requires [n ≥ 3f + 1] {e and} connectivity [≥ 2f + 1]. This
+    baseline composes the two classical ingredients:
+
+    - each round of an EIG protocol is implemented by [n] rounds of
+      path-annotated relaying; a receiver accepts a sender's round
+      message when it arrives over [f + 1] internally node-disjoint
+      recorded paths (with [2f + 1] connectivity an honest sender always
+      gets through; a wrong value cannot);
+    - the [f + 1]-round EIG tree with recursive majority resolution then
+      yields consensus.
+
+    Total rounds: [(f + 1) × n] — linear in [n] like Algorithm 2, but
+    with the strictly stronger network requirement the paper's
+    introduction contrasts against. *)
+
+val rounds : g:Lbc_graph.Graph.t -> f:int -> int
+(** [(f + 1) × size g]. *)
+
+val run :
+  g:Lbc_graph.Graph.t ->
+  f:int ->
+  inputs:Bit.t array ->
+  faulty:Lbc_graph.Nodeset.t ->
+  ?strategy:(int -> Lbc_adversary.Strategy.kind) ->
+  ?seed:int ->
+  unit ->
+  Spec.outcome
+(** Execute relayed EIG on [g] under the point-to-point model. Correct
+    iff [n ≥ 3f + 1], κ(g) ≥ 2f + 1 and at most [f] nodes are faulty.
+    Faulty nodes run [strategy] per relay segment (default
+    {!Lbc_adversary.Strategy.Equivocate} — the full point-to-point
+    adversary, which is legal for every node under this model). *)

@@ -1,0 +1,90 @@
+module Nodeset = Lbc_graph.Nodeset
+module G = Lbc_graph.Graph
+module Engine = Lbc_sim.Engine
+
+type outcome = {
+  committed : Bit.t option array;
+  rounds : int;
+  transmissions : int;
+}
+
+(* Wire message: a committed value being relayed. *)
+type msg = Commit of Bit.t
+
+let honest_proc g ~f ~me ~source ~is_source_value =
+  let committed = ref is_source_value in
+  let relayed = ref false in
+  (* distinct neighbours that relayed each value *)
+  let support = Hashtbl.create 8 in
+  let step ~round ~inbox =
+    ignore round;
+    List.iter
+      (fun (from, Commit b) ->
+        if G.mem_edge g from me then begin
+          if from = source then committed := Some b
+            (* direct reception from the source is conclusive *)
+          else begin
+            let key = b in
+            let seen =
+              Option.value ~default:Nodeset.empty (Hashtbl.find_opt support key)
+            in
+            Hashtbl.replace support key (Nodeset.add from seen)
+          end
+        end)
+      inbox;
+    if !committed = None then
+      Hashtbl.iter
+        (fun b seen ->
+          if Nodeset.cardinal seen >= f + 1 && !committed = None then
+            committed := Some b)
+        support;
+    match !committed with
+    | Some b when not !relayed ->
+        relayed := true;
+        [ Commit b ]
+    | Some _ | None -> []
+  in
+  { Engine.step; output = (fun () -> !committed) }
+
+let faulty_step ~value ~lie : msg Engine.fstep =
+ fun ~round ~inbox:_ ->
+  if lie && round <= 1 then [ Engine.Broadcast (Commit (Bit.flip value)) ]
+  else []
+
+let run ~g ~f ~source ~value ~faulty ?(lie = true) () =
+  let n = G.size g in
+  let topo = Engine.topology_of_graph g in
+  let roles =
+    Array.init n (fun v ->
+        if Nodeset.mem v faulty then
+          (* a faulty source, like any faulty node, broadcasts the flipped
+             value — but cannot equivocate under local broadcast *)
+          Engine.Faulty (faulty_step ~value ~lie)
+        else
+          Engine.Honest
+            (honest_proc g ~f ~me:v ~source
+               ~is_source_value:(if v = source then Some value else None)))
+  in
+  let result =
+    Engine.run topo ~model:Engine.Local_broadcast ~rounds:n ~roles
+  in
+  {
+    committed =
+      Array.map
+        (function Some c -> c | None -> None)
+        result.Engine.outputs;
+    rounds = n;
+    transmissions = result.Engine.stats.Engine.transmissions;
+  }
+
+let safe o ~source_honest ~value =
+  (not source_honest)
+  || Array.for_all
+       (function Some b -> Bit.equal b value | None -> true)
+       o.committed
+
+let live o ~faulty =
+  Array.for_all Fun.id
+    (Array.mapi
+       (fun v c -> Nodeset.mem v faulty || Option.is_some c)
+       o.committed)

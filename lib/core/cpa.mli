@@ -1,0 +1,47 @@
+(** Certified Propagation Algorithm (CPA): Byzantine-tolerant {e reliable
+    broadcast} under the local broadcast model (Koo PODC'04,
+    Pelc–Peleg'05, Tseng–Vaidya–Bhandari'15 — the paper's §2 related
+    work).
+
+    A single source floods one value; a node {e commits} when it is the
+    source, hears the source directly, or receives committed relays from
+    [f + 1] distinct neighbours. Committed nodes relay once.
+
+    Under the local broadcast model even a faulty source cannot
+    equivocate, and with at most [f] faults in total a wrong value can
+    never gather [f + 1] committed neighbours, so CPA is {e safe}
+    unconditionally; whether every honest node commits ({e liveness})
+    depends on the graph. The paper points out that broadcast results of
+    this kind "do not provide insights into the network requirements for
+    Byzantine consensus" — the benchmark harness demonstrates the gap in
+    both directions (graphs where CPA is live but consensus is
+    impossible, and vice versa). *)
+
+type outcome = {
+  committed : Bit.t option array;
+      (** per-node committed value; [None] = never committed (faulty
+          nodes are also [None]) *)
+  rounds : int;
+  transmissions : int;
+}
+
+val run :
+  g:Lbc_graph.Graph.t ->
+  f:int ->
+  source:int ->
+  value:Bit.t ->
+  faulty:Lbc_graph.Nodeset.t ->
+  ?lie:bool ->
+  unit ->
+  outcome
+(** Execute CPA for [size g] rounds. Faulty relays broadcast flipped
+    commits when [lie] is [true] (default), and stay silent otherwise. A
+    faulty {e source} broadcasts the flipped value — consistently, since
+    local broadcast forbids equivocation. *)
+
+val safe : outcome -> source_honest:bool -> value:Bit.t -> bool
+(** No honest node committed a value other than [value] (only meaningful
+    when the source is honest; a faulty source fixes its own "value"). *)
+
+val live : outcome -> faulty:Lbc_graph.Nodeset.t -> bool
+(** Every honest node committed. *)

@@ -1,0 +1,137 @@
+module Nodeset = Lbc_graph.Nodeset
+module G = Lbc_graph.Graph
+module S = Lbc_adversary.Strategy
+
+type target = A1 | A2 | A3 of int | Relay
+
+let pp_target fmt = function
+  | A1 -> Format.pp_print_string fmt "algorithm1"
+  | A2 -> Format.pp_print_string fmt "algorithm2"
+  | A3 t -> Format.fprintf fmt "algorithm3(t=%d)" t
+  | Relay -> Format.pp_print_string fmt "relay-eig"
+
+type violation = {
+  case_seed : int;
+  faulty : Nodeset.t;
+  strategies : string list;
+  inputs : Bit.t array;
+  outcome : Spec.outcome;
+}
+
+type report = { target : target; runs : int; violations : violation list }
+
+(* Strategy pool per node id, sampled independently; Flip_from/Omit_from
+   targets are re-drawn so campaigns also exercise origin-targeted
+   attacks against varying victims. *)
+let draw_kind st n =
+  match Random.State.int st 10 with
+  | 0 -> S.Honest_behavior
+  | 1 -> S.Silent
+  | 2 -> S.Crash_at (1 + Random.State.int st 3)
+  | 3 -> S.Lie
+  | 4 -> S.Flip_forwards
+  | 5 ->
+      S.Flip_from
+        (Nodeset.of_list
+           [ Random.State.int st n; Random.State.int st n ])
+  | 6 ->
+      S.Omit_from
+        (Nodeset.of_list
+           [ Random.State.int st n; Random.State.int st n ])
+  | 7 -> S.Omit_sampled (Random.State.int st 100)
+  | 8 -> S.Spurious (1 + Random.State.int st 2)
+  | _ -> S.Noise (1 + Random.State.int st 2)
+
+let draw_subset st ~n ~size =
+  let rec go acc =
+    if Nodeset.cardinal acc >= size then acc
+    else go (Nodeset.add (Random.State.int st n) acc)
+  in
+  if size <= 0 then Nodeset.empty else go Nodeset.empty
+
+let run ~g ~f ~target ~runs ?(seed = 0) ?max_faults () =
+  let n = G.size g in
+  let max_faults = Option.value ~default:f max_faults in
+  let violations = ref [] in
+  for case = 0 to runs - 1 do
+    let case_seed = seed + case in
+    let st = Random.State.make [| 0xFACE; case_seed |] in
+    let inputs = Array.init n (fun _ -> Bit.of_bool (Random.State.bool st)) in
+    let faulty =
+      draw_subset st ~n ~size:(Random.State.int st (max_faults + 1))
+    in
+    let kinds =
+      Nodeset.fold
+        (fun v acc -> (v, draw_kind st n) :: acc)
+        faulty []
+    in
+    let equivocators =
+      match target with
+      | A3 t ->
+          let es =
+            Nodeset.filter
+              (fun _ -> Random.State.bool st)
+              faulty
+          in
+          (* keep at most t equivocators *)
+          List.filteri (fun i _ -> i < t) (Nodeset.elements es)
+          |> Nodeset.of_list
+      | A1 | A2 | Relay -> Nodeset.empty
+    in
+    let strategy v =
+      if Nodeset.mem v equivocators then S.Equivocate
+      else match List.assoc_opt v kinds with Some k -> k | None -> S.Silent
+    in
+    let outcome =
+      match target with
+      | A1 -> Algorithm1.run ~g ~f ~inputs ~faulty ~strategy ~seed:case_seed ()
+      | A2 -> Algorithm2.run ~g ~f ~inputs ~faulty ~strategy ~seed:case_seed ()
+      | A3 t ->
+          Algorithm3.run ~g ~f ~t ~inputs ~faulty ~equivocators ~strategy
+            ~seed:case_seed ()
+      | Relay ->
+          Baseline_relay.run ~g ~f ~inputs ~faulty ~strategy ~seed:case_seed ()
+    in
+    let honest_inputs =
+      List.filter_map
+        (fun v -> if Nodeset.mem v faulty then None else Some inputs.(v))
+        (G.nodes g)
+    in
+    let unanimity_ok =
+      match honest_inputs with
+      | [] -> true
+      | b :: rest ->
+          if List.for_all (Bit.equal b) rest then
+            Spec.decision outcome = Some b
+          else true
+    in
+    if not (Spec.consensus_ok outcome && unanimity_ok) then
+      violations :=
+        {
+          case_seed;
+          faulty;
+          strategies =
+            List.map
+              (fun v -> Format.asprintf "%d:%a" v S.pp_kind (strategy v))
+              (Nodeset.elements faulty);
+          inputs;
+          outcome;
+        }
+        :: !violations
+  done;
+  { target; runs; violations = List.rev !violations }
+
+let pp_report fmt r =
+  Format.fprintf fmt "fuzz %a: %d runs, %d violations" pp_target r.target
+    r.runs
+    (List.length r.violations);
+  List.iter
+    (fun v ->
+      Format.fprintf fmt
+        "@.  seed=%d faulty=%a strategies=[%s] inputs=%s -> %a" v.case_seed
+        Nodeset.pp v.faulty
+        (String.concat "; " v.strategies)
+        (String.concat ""
+           (Array.to_list (Array.map Bit.to_string v.inputs)))
+        Spec.pp v.outcome)
+    r.violations

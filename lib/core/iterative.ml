@@ -1,0 +1,120 @@
+module Nodeset = Lbc_graph.Nodeset
+module G = Lbc_graph.Graph
+module Engine = Lbc_sim.Engine
+
+type history = { states : float array; spread : float list; rounds : int }
+
+(* One W-MSR update: remove up to f neighbour values strictly above own
+   and up to f strictly below own, then average the remainder with the
+   own state. *)
+let wmsr_update ~f ~own values =
+  let above =
+    List.filter (fun v -> v > own) values |> List.sort (fun a b -> compare b a)
+  in
+  let below = List.filter (fun v -> v < own) values |> List.sort compare in
+  let equal_own = List.filter (fun v -> v = own) values in
+  let drop k l =
+    let rec go k l = if k = 0 then l else match l with [] -> [] | _ :: t -> go (k - 1) t in
+    go k l
+  in
+  let kept = drop f above @ drop f below @ equal_own in
+  let total = own +. List.fold_left ( +. ) 0.0 kept in
+  total /. float_of_int (1 + List.length kept)
+
+let honest_proc g ~f ~me ~input =
+  let state = ref input in
+  let step ~round ~inbox =
+    ignore round;
+    let values =
+      List.filter_map
+        (fun (from, v) -> if G.mem_edge g from me then Some v else None)
+        inbox
+    in
+    if values <> [] then state := wmsr_update ~f ~own:!state values;
+    [ !state ]
+  in
+  { Engine.step; output = (fun () -> !state) }
+
+let default_adversary ~me ~round =
+  ignore me;
+  if round land 1 = 0 then 0.0 else 1.0
+
+let run ~g ~f ~inputs ~faulty ~rounds
+    ?(adversary = fun ~me ~round -> default_adversary ~me ~round) () =
+  let n = G.size g in
+  if Array.length inputs <> n then
+    invalid_arg "Iterative.run: inputs length mismatch";
+  let topo = Engine.topology_of_graph g in
+  (* Track spreads by observing states round by round: we re-run the
+     engine round-per-round is wasteful, so instead the honest procs
+     share a snapshot array updated in place. *)
+  let snapshot = Array.copy inputs in
+  let spreads = ref [] in
+  let record_spread () =
+    let honest =
+      List.filter_map
+        (fun v -> if Nodeset.mem v faulty then None else Some snapshot.(v))
+        (G.nodes g)
+    in
+    match honest with
+    | [] -> ()
+    | h :: t ->
+        let mx = List.fold_left max h t and mn = List.fold_left min h t in
+        spreads := (mx -. mn) :: !spreads
+  in
+  record_spread ();
+  let roles =
+    Array.init n (fun v ->
+        if Nodeset.mem v faulty then
+          Engine.Faulty
+            (fun ~round ~inbox:_ ->
+              [ Engine.Broadcast (adversary ~me:v ~round) ])
+        else begin
+          let inner = honest_proc g ~f ~me:v ~input:inputs.(v) in
+          Engine.Honest
+            {
+              Engine.step =
+                (fun ~round ~inbox ->
+                  let out = inner.Engine.step ~round ~inbox in
+                  (match out with [ s ] -> snapshot.(v) <- s | _ -> ());
+                  (* snapshot completed for the round once the last honest
+                     node has stepped; record at the highest id *)
+                  if
+                    v
+                    = Nodeset.max_elt
+                        (Nodeset.diff (G.node_set g) faulty)
+                  then record_spread ();
+                  out);
+              output = inner.Engine.output;
+            }
+        end)
+  in
+  let result = Engine.run topo ~model:Engine.Local_broadcast ~rounds ~roles in
+  {
+    states =
+      Array.mapi
+        (fun v out ->
+          match out with Some s -> s | None -> snapshot.(v))
+        result.Engine.outputs;
+    spread = List.rev !spreads;
+    rounds;
+  }
+
+let converged ?(eps = 1e-6) h =
+  match List.rev h.spread with last :: _ -> last < eps | [] -> true
+
+let validity_interval h ~faulty ~inputs =
+  let honest_inputs =
+    List.filter_map
+      (fun v -> if Nodeset.mem v faulty then None else Some inputs.(v))
+      (List.init (Array.length inputs) Fun.id)
+  in
+  match honest_inputs with
+  | [] -> true
+  | h0 :: t ->
+      let mx = List.fold_left max h0 t and mn = List.fold_left min h0 t in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun v s ->
+             Nodeset.mem v faulty || (s >= mn -. 1e-9 && s <= mx +. 1e-9))
+           h.states)

@@ -1,0 +1,45 @@
+(** W-MSR iterative {e approximate} consensus under local broadcast
+    (LeBlanc et al.'13, Zhang–Sundaram'12 — the restricted algorithm
+    class of the paper's §2).
+
+    Each node keeps a real-valued state (initialised from its binary
+    input), and in every round broadcasts it, discards the [f] highest
+    and [f] lowest received neighbour values (relative to its own), and
+    averages the rest with its own state. No path annotations, no phases
+    — but, as the paper stresses, the price is (i) only {e approximate}
+    agreement in finite time and (ii) network requirements
+    ({e robustness}) that strictly exceed the tight condition of
+    Theorems 4.1/5.1. The benchmark harness demonstrates both: on the
+    5-cycle (where Algorithm 1 is exact for f = 1) W-MSR stalls, while
+    on (2f+1)-robust graphs it converges geometrically but never exactly.
+
+    Faulty nodes broadcast an arbitrary (but, under local broadcast,
+    per-round consistent) value chosen by the adversary function. *)
+
+type history = {
+  states : float array;  (** final states (faulty entries = last sent) *)
+  spread : float list;
+      (** max honest state − min honest state, per round (including round
+          0), in chronological order *)
+  rounds : int;
+}
+
+val run :
+  g:Lbc_graph.Graph.t ->
+  f:int ->
+  inputs:float array ->
+  faulty:Lbc_graph.Nodeset.t ->
+  rounds:int ->
+  ?adversary:(me:int -> round:int -> float) ->
+  unit ->
+  history
+(** Execute [rounds] W-MSR iterations. [adversary] supplies each faulty
+    node's broadcast value per round (default: oscillate between 0 and 1,
+    the classic disruption). *)
+
+val converged : ?eps:float -> history -> bool
+(** Final spread below [eps] (default [1e-6]). *)
+
+val validity_interval : history -> faulty:Lbc_graph.Nodeset.t -> inputs:float array -> bool
+(** Every honest state remained within the interval spanned by the honest
+    inputs — the safety property W-MSR does guarantee on any graph. *)

@@ -1,0 +1,83 @@
+module Nodeset = Lbc_graph.Nodeset
+
+type outcome = {
+  outputs : int option array;
+  inputs : int array;
+  faulty : Nodeset.t;
+  rounds : int;
+  transmissions : int;
+}
+
+let run ~g ~f ~bits ~inputs ~faulty ?strategy ?(seed = 0) () =
+  let n = Lbc_graph.Graph.size g in
+  if bits < 1 || bits > 30 then invalid_arg "Multivalued.run: bad bit width";
+  if Array.length inputs <> n then
+    invalid_arg "Multivalued.run: inputs length mismatch";
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= 1 lsl bits then
+        invalid_arg "Multivalued.run: input out of range")
+    inputs;
+  let decided = Array.make n 0 in
+  let rounds = ref 0 in
+  let transmissions = ref 0 in
+  for bit = 0 to bits - 1 do
+    let bit_inputs =
+      Array.map (fun v -> Bit.of_int ((v lsr bit) land 1)) inputs
+    in
+    let o =
+      Algorithm2.run ~g ~f ~inputs:bit_inputs ~faulty ?strategy
+        ~seed:(seed + (100 * bit))
+        ()
+    in
+    rounds := !rounds + o.Spec.rounds;
+    transmissions := !transmissions + o.Spec.transmissions;
+    Array.iteri
+      (fun v out ->
+        match out with
+        | Some b -> decided.(v) <- decided.(v) lor (Bit.to_int b lsl bit)
+        | None -> ())
+      o.Spec.outputs
+  done;
+  {
+    outputs =
+      Array.init n (fun v ->
+          if Nodeset.mem v faulty then None else Some decided.(v));
+    inputs;
+    faulty;
+    rounds = !rounds;
+    transmissions = !transmissions;
+  }
+
+let honest_outputs o =
+  Array.to_list o.outputs |> List.filter_map Fun.id
+
+let agreement o =
+  let honest_count =
+    Array.length o.outputs
+    - Nodeset.cardinal
+        (Nodeset.filter
+           (fun v -> v < Array.length o.outputs)
+           o.faulty)
+  in
+  let outs = honest_outputs o in
+  List.length outs = honest_count
+  && match outs with [] -> true | x :: rest -> List.for_all (( = ) x) rest
+
+let weak_validity o =
+  let honest_inputs =
+    List.filter_map
+      (fun v -> if Nodeset.mem v o.faulty then None else Some o.inputs.(v))
+      (List.init (Array.length o.inputs) Fun.id)
+  in
+  match honest_inputs with
+  | [] -> true
+  | x :: rest ->
+      if List.for_all (( = ) x) rest then
+        List.for_all (( = ) x) (honest_outputs o)
+      else true
+
+let decision o =
+  if agreement o then
+    match honest_outputs o with x :: _ -> Some x | [] -> None
+  else None

@@ -1,0 +1,47 @@
+(** Multi-valued consensus via the bitwise reduction (extension).
+
+    The paper treats binary inputs. The classical reduction to k-bit
+    values runs one binary instance per bit position and assembles the
+    decided bits. This preserves {e agreement} and {e termination}
+    unchanged, and guarantees the standard multi-valued ({e weak})
+    validity: if every non-faulty node starts with the same value, that
+    value is decided. When honest inputs differ, the assembled output may
+    mix bits of different inputs — achieving "output is some honest
+    input" for multi-valued domains requires different machinery and is
+    out of the paper's scope; callers get {!weak_validity} as the
+    checkable contract.
+
+    Built on {!Algorithm2}, so it requires a 2f-connected graph and runs
+    in [3 n k] rounds for k-bit values. *)
+
+type outcome = {
+  outputs : int option array;  (** decided value per node; [None] = faulty *)
+  inputs : int array;
+  faulty : Lbc_graph.Nodeset.t;
+  rounds : int;
+  transmissions : int;
+}
+
+val run :
+  g:Lbc_graph.Graph.t ->
+  f:int ->
+  bits:int ->
+  inputs:int array ->
+  faulty:Lbc_graph.Nodeset.t ->
+  ?strategy:(int -> Lbc_adversary.Strategy.kind) ->
+  ?seed:int ->
+  unit ->
+  outcome
+(** Decide on [bits]-bit non-negative values (each input must satisfy
+    [0 <= v < 2^bits]).
+    @raise Invalid_argument on out-of-range inputs or [bits < 1]. *)
+
+val agreement : outcome -> bool
+(** All honest outputs present and equal. *)
+
+val weak_validity : outcome -> bool
+(** If the honest inputs are unanimous, every honest output equals that
+    value (vacuously true otherwise). *)
+
+val decision : outcome -> int option
+(** The common decision when {!agreement} holds. *)

@@ -1,0 +1,58 @@
+module Nodeset = Lbc_graph.Nodeset
+module Flood = Lbc_flood.Flood
+
+type classification = {
+  z : Nodeset.t;
+  n : Nodeset.t;
+  a : Nodeset.t;
+  b : Nodeset.t;
+  case : int;
+}
+
+(* Step (b): the value v deems u to have flooded, along one chosen
+   uv-path excluding F ∪ T. *)
+let deemed_value g ~excluded ~store ~gamma ~u =
+  let v = Flood.me store in
+  if u = v then gamma
+  else
+    match Lbc_graph.Traversal.shortest_path ~exclude:excluded g ~src:u ~dst:v with
+    | None -> Bit.default
+    | Some path -> (
+        match Flood.value_along store ~path with
+        | Some b -> b
+        | None -> Bit.default)
+
+let classify g ~f ~cap_f ~cap_t ~store ~gamma =
+  let excluded = Nodeset.union cap_f cap_t in
+  let candidates = Nodeset.diff (Lbc_graph.Graph.node_set g) cap_t in
+  let z =
+    Nodeset.filter
+      (fun u -> deemed_value g ~excluded ~store ~gamma ~u = Bit.Zero)
+      candidates
+  in
+  let n = Nodeset.diff candidates z in
+  let phi = f - Nodeset.cardinal cap_t in
+  let zf = Nodeset.cardinal (Nodeset.inter z cap_f) in
+  let a, b, case =
+    if zf <= phi / 2 then
+      if Nodeset.cardinal n > f then (n, z, 1) else (z, n, 2)
+    else if Nodeset.cardinal z > f then (z, n, 3)
+    else (n, z, 4)
+  in
+  { z; n; a; b; case }
+
+let update g ~f ~cap_f ~cap_t ~store ~gamma =
+  let v = Flood.me store in
+  let cls = classify g ~f ~cap_f ~cap_t ~store ~gamma in
+  if not (Nodeset.mem v cls.b) then gamma
+  else begin
+    let excluded = Nodeset.union cap_f cap_t in
+    let accepts delta =
+      Flood.disjoint_count_from_set store ~sources:cls.a ~value:delta
+        ~excluded ~limit:(f + 1) ()
+      >= f + 1
+    in
+    if accepts Bit.Zero then Bit.Zero
+    else if accepts Bit.One then Bit.One
+    else gamma
+  end

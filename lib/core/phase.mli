@@ -1,0 +1,44 @@
+(** One phase of Algorithm 1 / Algorithm 3: steps (b) and (c).
+
+    After the phase's flood (step (a)) completes, each honest node [v]
+    re-estimates which nodes flooded [Zero] ([Z_v]) and which flooded
+    [One] ([N_v]) using one path per origin that excludes the phase's
+    candidate fault sets, then conditionally overwrites its state with a
+    value received along [f + 1] node-disjoint [A_v v]-paths.
+
+    Algorithm 1 is the special case [capT = ∅] (so [phi = f]); Algorithm 3
+    passes the phase's equivocator guess as [capT]. *)
+
+type classification = {
+  z : Lbc_graph.Nodeset.t;  (** [Z_v]: deemed to have flooded Zero *)
+  n : Lbc_graph.Nodeset.t;  (** [N_v = (V − T) − Z_v] *)
+  a : Lbc_graph.Nodeset.t;  (** [A_v] as selected by the 4-case rule *)
+  b : Lbc_graph.Nodeset.t;  (** [B_v] *)
+  case : int;  (** which of the 4 cases fired (1–4), for diagnostics *)
+}
+
+val classify :
+  Lbc_graph.Graph.t ->
+  f:int ->
+  cap_f:Lbc_graph.Nodeset.t ->
+  cap_t:Lbc_graph.Nodeset.t ->
+  store:Bit.t Lbc_flood.Flood.store ->
+  gamma:Bit.t ->
+  classification
+(** Steps (b) and the case analysis of step (c) for the node owning
+    [store]. A missing record along the chosen path (possible only when
+    the phase's guess does not cover the real faults, or on infeasible
+    graphs) is treated as the default value [One]. *)
+
+val update :
+  Lbc_graph.Graph.t ->
+  f:int ->
+  cap_f:Lbc_graph.Nodeset.t ->
+  cap_t:Lbc_graph.Nodeset.t ->
+  store:Bit.t Lbc_flood.Flood.store ->
+  gamma:Bit.t ->
+  Bit.t
+(** The full step (c): returns the node's state at the end of the phase.
+    When both binary values pass the disjoint-path test (unreachable when
+    at most [f] nodes are faulty) the tie breaks to [Zero],
+    deterministically. *)

@@ -1,0 +1,34 @@
+(** Front door: feasibility-checked consensus with automatic algorithm
+    selection.
+
+    Given a graph and a fault budget, picks the cheapest applicable
+    algorithm from the paper:
+
+    - 2f-connected graph → {!Algorithm2} (O(n) rounds, Theorem 5.6);
+    - otherwise, tight condition satisfied → {!Algorithm1} (exponential
+      phases, Theorem 5.1);
+    - condition violated → refuses, returning the witness from
+      {!Lbc_graph.Conditions.lbc_explain} (running anyway is exactly what
+      the Appendix A gadgets exploit).
+
+    The paper leaves an efficient algorithm for the tight condition as
+    future work, so the dispatch boundary (κ ≥ 2f vs the ⌊3f/2⌋+1 floor)
+    is the paper's own efficiency frontier. *)
+
+type choice = Efficient  (** Algorithm 2 *) | Exponential  (** Algorithm 1 *)
+
+val pp_choice : Format.formatter -> choice -> unit
+
+val choose : g:Lbc_graph.Graph.t -> f:int -> (choice, Lbc_graph.Conditions.verdict) result
+(** Which algorithm {!run} would use, or why it refuses. *)
+
+val run :
+  g:Lbc_graph.Graph.t ->
+  f:int ->
+  inputs:Bit.t array ->
+  faulty:Lbc_graph.Nodeset.t ->
+  ?strategy:(int -> Lbc_adversary.Strategy.kind) ->
+  ?seed:int ->
+  unit ->
+  (choice * Spec.outcome, Lbc_graph.Conditions.verdict) result
+(** Check the condition, dispatch, and run. *)

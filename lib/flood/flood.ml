@@ -1,0 +1,197 @@
+module Nodeset = Lbc_graph.Nodeset
+
+type 'v wire = { value : 'v; path : Lbc_sim.Engine.node_id list }
+
+type 'v store = {
+  g : Lbc_graph.Graph.t;
+  me : int;
+  initiate : 'v option;
+  default : 'v option;
+  seen : (int * int list, unit) Hashtbl.t; (* rule (ii) keys: sender, wire path *)
+  recs : (int list, 'v) Hashtbl.t; (* full path origin..me -> value *)
+  mutable defaults_done : bool;
+}
+
+let create g ~me ?initiate ?default () =
+  let store =
+    {
+      g;
+      me;
+      initiate;
+      default;
+      seen = Hashtbl.create 64;
+      recs = Hashtbl.create 64;
+      defaults_done = false;
+    }
+  in
+  (match initiate with
+  | Some v -> Hashtbl.replace store.recs [ me ] v
+  | None -> ());
+  store
+
+let rounds_needed g = Lbc_graph.Graph.size g
+
+let predicted_transmissions g =
+  let n = Lbc_graph.Graph.size g in
+  let total = ref n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then
+        total :=
+          !total + Lbc_graph.Traversal.count_simple_paths g ~src:u ~dst:v
+    done
+  done;
+  !total
+let me t = t.me
+let graph t = t.g
+let own_value t = t.initiate
+
+(* Rules (i)-(iv). [from] is the transmitting neighbour, [round] the
+   engine round in which the message arrived. *)
+let handle t ~round ~from (m : 'v wire) =
+  let relayed = m.path @ [ from ] in
+  (* Rule (i): Π·u must be a simple path of G starting at the originator;
+     physically the sender must also be our neighbour; and the timing
+     must be honest — a k-hop annotation arrives exactly in round k+1. *)
+  if
+    List.length m.path <> round - 1
+    || (not (Lbc_graph.Graph.mem_edge t.g from t.me))
+    || not (Lbc_graph.Graph.is_path t.g relayed)
+  then None
+  else begin
+    let key = (from, m.path) in
+    if Hashtbl.mem t.seen key then None (* rule (ii): anti-equivocation *)
+    else begin
+      Hashtbl.replace t.seen key ();
+      if List.mem t.me m.path then None (* rule (iii) *)
+      else begin
+        (* Rule (iv): accept and forward. *)
+        Hashtbl.replace t.recs (relayed @ [ t.me ]) m.value;
+        Some { value = m.value; path = relayed }
+      end
+    end
+  end
+
+let synthesize_defaults t =
+  if t.defaults_done then []
+  else begin
+    t.defaults_done <- true;
+    match t.default with
+    | None -> []
+    | Some d ->
+        List.filter_map
+          (fun w ->
+            if Hashtbl.mem t.seen (w, []) then None
+            else begin
+              Hashtbl.replace t.seen (w, []) ();
+              Hashtbl.replace t.recs [ w; t.me ] d;
+              Some { value = d; path = [ w ] }
+            end)
+          (Lbc_graph.Graph.neighbor_list t.g t.me)
+  end
+
+let proc t : ('v wire, 'v store) Lbc_sim.Engine.proc =
+  let step ~round ~inbox =
+    let initiations =
+      if round = 0 then
+        match t.initiate with Some v -> [ { value = v; path = [] } ] | None -> []
+      else []
+    in
+    let forwards =
+      List.filter_map (fun (from, m) -> handle t ~round ~from m) inbox
+    in
+    (* The missing-message rule fires after the round-0 initiations (which
+       arrive in the round-1 inbox) have been processed, so only genuinely
+       silent neighbours receive the default. *)
+    let synthesized = if round = 1 then synthesize_defaults t else [] in
+    initiations @ forwards @ synthesized
+  in
+  { step; output = (fun () -> t) }
+
+let records t =
+  Hashtbl.fold
+    (fun path v acc ->
+      match path with
+      | origin :: _ -> (origin, path, v) :: acc
+      | [] -> acc)
+    t.recs []
+
+let value_along t ~path = Hashtbl.find_opt t.recs path
+
+let origin_values t ~origin =
+  let vals =
+    Hashtbl.fold
+      (fun path v acc ->
+        match path with o :: _ when o = origin -> v :: acc | _ -> acc)
+      t.recs []
+  in
+  List.sort_uniq compare vals
+
+(* Disjoint-path counting is a packing problem over the *actually
+   received* record paths: the paper's "v receives value δ along f+1
+   node-disjoint paths" quantifies over delivery paths, and only whole
+   records support the pigeonhole argument (f+1 disjoint records and at
+   most f faults leave one record whose entire path is non-faulty, hence
+   whose annotation is genuine). Any relaxation that recombines edges of
+   different records is unsound: a Byzantine forwarder may fabricate the
+   prefix of a path annotation, inventing edges between honest nodes.
+
+   Each candidate record is reduced to the bitmask of the nodes that
+   matter for disjointness; the maximum number of pairwise-disjoint masks
+   is computed by depth-limited DFS after removing dominated records
+   (m ⊇ m' can always be replaced by m'). Node ids must fit an OCaml int
+   bitmask. *)
+
+let mask_of_nodes = Packing.mask_of_nodes
+let packing_count masks ~limit = Packing.count masks ~limit
+
+(* Masks of qualifying records: [keep path value] selects records; [mask]
+   maps a path to the node set relevant for disjointness. *)
+let record_masks t ~keep ~mask =
+  Hashtbl.fold
+    (fun path v acc -> if keep path v then mask path :: acc else acc)
+    t.recs []
+
+let disjoint_count t ~origin ~value ?(excluded = Nodeset.empty) ?limit () =
+  if origin = t.me then invalid_arg "Flood.disjoint_count: origin = me";
+  let limit =
+    match limit with Some l -> l | None -> Lbc_graph.Graph.size t.g
+  in
+  let keep path v =
+    v = value
+    && (match path with o :: _ -> o = origin | [] -> false)
+    && Lbc_graph.Graph.path_excludes path excluded
+  in
+  (* uv-paths are internally disjoint: endpoints excluded from the mask. *)
+  let mask path =
+    mask_of_nodes (List.filter (fun x -> x <> origin && x <> t.me) path)
+  in
+  packing_count (record_masks t ~keep ~mask) ~limit
+
+let disjoint_count_from_set t ~sources ~value ?(excluded = Nodeset.empty)
+    ?limit () =
+  let sources = Nodeset.remove t.me sources in
+  let limit =
+    match limit with Some l -> l | None -> Lbc_graph.Graph.size t.g
+  in
+  let keep path v =
+    v = value
+    && (match path with o :: _ -> Nodeset.mem o sources | [] -> false)
+    && Lbc_graph.Graph.path_excludes path excluded
+  in
+  (* Uv-paths share only the sink: every node but [me] participates in the
+     disjointness mask, which also enforces pairwise-distinct origins. *)
+  let mask path = mask_of_nodes (List.filter (fun x -> x <> t.me) path) in
+  packing_count (record_masks t ~keep ~mask) ~limit
+
+let reliable_values ~f t ~origin =
+  if origin = t.me then
+    match t.initiate with Some v -> [ v ] | None -> []
+  else if Lbc_graph.Graph.mem_edge t.g origin t.me then
+    match Hashtbl.find_opt t.recs [ origin; t.me ] with
+    | Some v -> [ v ]
+    | None -> []
+  else
+    List.filter
+      (fun v -> disjoint_count t ~origin ~value:v ~limit:(f + 1) () >= f + 1)
+      (origin_values t ~origin)

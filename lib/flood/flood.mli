@@ -1,0 +1,158 @@
+(** Path-annotated flooding under the local broadcast model — the
+    communication primitive of Algorithms 1, 2 and 3 (step (a) of
+    Algorithm 1 and phases 1–3 of Algorithm 2).
+
+    A flood message is a pair [(value, path)] where [path] records the
+    route from the originator up to {e and including} the transmitter's
+    predecessor (the paper's [(b, Π)]; the originator transmits
+    [(b, ⊥)] = an empty path). On receiving [(b, Π)] from neighbour [u], a
+    node [v] applies the paper's four rules:
+
+    {ol
+    {- discard if [Π·u] is not a (simple) path of the known graph [G];}
+    {- discard if a message with key [(u, Π)] was already received — under
+       local broadcast this is what makes equivocation detectable/useless;}
+    {- discard if [v] itself appears in [Π];}
+    {- otherwise {e accept}: record that the value [b] was received along
+       the path [Π·u·v], and forward [(b, Π·u)].}}
+
+    A silent initiator is replaced at round 1 by a configurable default
+    message (the paper's [(1, ⊥)] rule), so every node — even a crashed
+    one — effectively floods exactly one value.
+
+    The store is generic in the value type so the same primitive floods
+    binary states (Algorithm 1 step (a)), neighbour reports (Algorithm 2
+    phase 2) and decision values (Algorithm 2 phase 3). Values must be
+    comparable with structural equality.
+
+    Acceptance queries implement the paper's path-counting conditions:
+    {!disjoint_count} / {!disjoint_count_from_set} compute the maximum
+    number of node-disjoint delivery paths {e among the actually received
+    records} — a set-packing computation. Packing over whole records is
+    essential for soundness: only an entirely non-faulty record path
+    certifies its annotation, so the pigeonhole argument (f+1 disjoint
+    records, at most f faults) requires genuine, indivisible paths;
+    recombining edges of different records would let a Byzantine
+    forwarder fabricate path prefixes through honest nodes (see
+    DESIGN.md). {!reliable_values} implements Definition C.1 on top.
+
+    Node identifiers must fit in an OCaml int bitmask (graphs of at most
+    61 nodes) for the packing queries. *)
+
+type 'v wire = { value : 'v; path : Lbc_sim.Engine.node_id list }
+(** On-the-wire message: the flooded value and the route up to the
+    transmitter's predecessor. *)
+
+type 'v store
+(** Per-node flooding state and received-record store. *)
+
+val create :
+  Lbc_graph.Graph.t ->
+  me:int ->
+  ?initiate:'v ->
+  ?default:'v ->
+  unit ->
+  'v store
+(** [create g ~me ~initiate ~default ()] prepares a flooding instance at
+    node [me] of graph [g]. When [initiate] is given, [me] floods that
+    value (and records it for itself along the trivial path [[me]]). When
+    [default] is given, neighbours that stay silent in round 0 are deemed
+    to have flooded [default] (the paper's missing-message rule). Omit
+    [default] for floods in which only some nodes initiate (Algorithm 2
+    phase 3). *)
+
+val proc : 'v store -> ('v wire, 'v store) Lbc_sim.Engine.proc
+(** The honest flooding process for the engine; its output is the store,
+    ready for querying. *)
+
+val rounds_needed : Lbc_graph.Graph.t -> int
+(** Number of engine rounds for a flood to complete: [size g] (a message
+    along a simple path of [k] edges is processed [k] rounds after
+    initiation, and [k <= n - 1]). *)
+
+val predicted_transmissions : Lbc_graph.Graph.t -> int
+(** Exact transmission count of one all-honest, all-initiating flood:
+    every node broadcasts its initiation and forwards each accepted
+    message exactly once, and the accepted messages at [v] are in
+    bijection with the simple paths ending at [v] — so the total is
+    [n + Σ_{u ≠ v} #simple-paths(u, v)]. Exponential to evaluate on dense
+    graphs (it {e is} the message complexity being predicted). The
+    benchmark harness checks measured floods against this number. *)
+
+val handle : 'v store -> round:int -> from:int -> 'v wire -> 'v wire option
+(** Apply rules (i)–(iv) to one message received in engine round [round];
+    [Some fwd] means the message was accepted and [fwd] should be
+    broadcast. Exposed for unit tests and adversarial wrappers; {!proc}
+    uses it internally.
+
+    Rule (i) includes the {e synchronous timing check}: a message
+    [(b, Π)] is acceptable only in round [|Π| + 1], because honest
+    flooding initiates in round 0 and relays immediately, so a message
+    annotated with a k-hop route physically arrives exactly k+1 rounds
+    in. A Byzantine node transmitting a short-path message late (or a
+    long-path message early) is fabricating, and accepting it would let
+    relay chains overrun the phase — the late-injection attack our fuzz
+    campaigns found against Algorithm 2's omission evidence (see
+    DESIGN.md). *)
+
+val synthesize_defaults : 'v store -> 'v wire list
+(** Apply the missing-message rule: for every neighbour whose round-0
+    initiation has not been received, record the default value and return
+    the forwards to broadcast. Called by {!proc} at round 1; exposed for
+    adversarial wrappers. No-op when the store has no default. *)
+
+(** {1 Queries} *)
+
+val me : 'v store -> int
+val graph : 'v store -> Lbc_graph.Graph.t
+
+val own_value : 'v store -> 'v option
+(** The value this node initiated, if any. *)
+
+val records : 'v store -> (int * int list * 'v) list
+(** All accepted records as [(origin, path, value)] with [path] running
+    from [origin] to [me] inclusive. Includes the node's own initiation as
+    [(me, [me], v)] and synthesized defaults. Order unspecified. *)
+
+val value_along : 'v store -> path:int list -> 'v option
+(** The value received along exactly [path] (origin to [me] inclusive),
+    if any. *)
+
+val origin_values : 'v store -> origin:int -> 'v list
+(** Distinct values received from [origin] over any path (structural
+    equality). *)
+
+val disjoint_count :
+  'v store ->
+  origin:int ->
+  value:'v ->
+  ?excluded:Lbc_graph.Nodeset.t ->
+  ?limit:int ->
+  unit ->
+  int
+(** Maximum number of internally node-disjoint [origin]→[me] paths among
+    the recorded paths that carry [value] from [origin] and exclude
+    [excluded] (no internal node in the set). [limit] caps the search
+    (default: graph size). *)
+
+val disjoint_count_from_set :
+  'v store ->
+  sources:Lbc_graph.Nodeset.t ->
+  value:'v ->
+  ?excluded:Lbc_graph.Nodeset.t ->
+  ?limit:int ->
+  unit ->
+  int
+(** Maximum number of node-disjoint [A]→[me] paths (sharing only [me],
+    with pairwise-distinct endpoints in [sources]) among the recorded
+    paths carrying [value] from origins in [sources], each excluding
+    [excluded] — the acceptance test of Algorithm 1 step (c). *)
+
+val reliable_values : f:int -> 'v store -> origin:int -> 'v list
+(** Definition C.1: the values [me] {e reliably} received from [origin] —
+    its own value when [origin = me]; the directly-heard value when
+    [origin] is a neighbour; otherwise every value delivered along at
+    least [f + 1] internally disjoint paths. Under at most [f] faults the
+    result has at most one element for a broadcast-bound origin; the
+    (adversarially unreachable) multi-value case is returned as-is so
+    callers can assert on it. *)

@@ -1,0 +1,52 @@
+let mask_of_nodes nodes =
+  List.fold_left
+    (fun m x ->
+      if x < 0 || x >= Sys.int_size - 1 then
+        invalid_arg "Packing.mask_of_nodes: node id out of mask range";
+      m lor (1 lsl x))
+    0 nodes
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let count masks ~limit =
+  if limit <= 0 then 0
+  else begin
+    let masks = List.sort_uniq compare masks in
+    (* The empty mask conflicts with nothing: it always contributes one
+       packed element and must not take part in domination (it is a subset
+       of everything). *)
+    let has_empty = List.mem 0 masks in
+    let masks = List.filter (fun m -> m <> 0) masks in
+    let bonus = if has_empty then 1 else 0 in
+    let limit = limit - bonus in
+    if limit <= 0 then bonus
+    else begin
+    (* Domination: drop any mask that strictly contains another mask. Safe
+       because two masks of one packing are disjoint, so a non-empty mask
+       and its strict superset never co-occur in a packing. *)
+    let masks =
+      List.filter
+        (fun m ->
+          not (List.exists (fun m' -> m' <> m && m' land m = m') masks))
+        masks
+    in
+    let arr =
+      Array.of_list
+        (List.sort (fun a b -> compare (popcount a) (popcount b)) masks)
+    in
+    let len = Array.length arr in
+    let best = ref 0 in
+    let rec dfs i used depth =
+      if depth > !best then best := depth;
+      if !best >= limit || i >= len || depth + (len - i) <= !best then ()
+      else begin
+        if arr.(i) land used = 0 then dfs (i + 1) (used lor arr.(i)) (depth + 1);
+        if !best < limit then dfs (i + 1) used depth
+      end
+    in
+    dfs 0 0 0;
+    bonus + min !best limit
+    end
+  end

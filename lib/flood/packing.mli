@@ -1,0 +1,17 @@
+(** Maximum disjoint-set packing over node bitmasks.
+
+    Used to count node-disjoint delivery paths among received records: each
+    record contributes the bitmask of the nodes relevant for disjointness
+    and the packing number is the maximum number of pairwise-disjoint
+    masks. Exact, via domination reduction (a mask containing another is
+    never preferable) and depth-limited DFS with early exit. *)
+
+val mask_of_nodes : int list -> int
+(** Bitmask of a node list.
+    @raise Invalid_argument when a node id does not fit the mask
+    (ids must be < [Sys.int_size - 1], i.e. graphs of ≤ 61 nodes). *)
+
+val count : int list -> limit:int -> int
+(** [count masks ~limit] is the maximum number of pairwise-disjoint masks,
+    capped at [limit] (the search stops as soon as [limit] disjoint masks
+    are found). [0] when [limit <= 0]. *)

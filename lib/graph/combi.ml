@@ -1,0 +1,32 @@
+let combinations xs k =
+  if k < 0 then invalid_arg "Combi.combinations: negative k";
+  let rec go xs k =
+    if k = 0 then [ [] ]
+    else
+      match xs with
+      | [] -> []
+      | x :: rest ->
+          List.map (fun c -> x :: c) (go rest (k - 1)) @ go rest k
+  in
+  go xs k
+
+let subsets_up_to xs k =
+  List.concat_map (combinations xs) (List.init (max 0 (k + 1)) Fun.id)
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := !acc * (n - k + i) / i
+    done;
+    !acc
+  end
+
+let phase_count ~n ~f =
+  let acc = ref 0 in
+  for k = 0 to f do
+    acc := !acc + binomial n k
+  done;
+  !acc

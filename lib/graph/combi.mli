@@ -1,0 +1,23 @@
+(** Subset enumeration helpers.
+
+    Algorithm 1 iterates over every candidate fault set [F] with
+    [|F| <= f], and the hybrid condition (iii) quantifies over every node
+    set of size at most [t]; both need deterministic subset enumeration. *)
+
+val combinations : 'a list -> int -> 'a list list
+(** [combinations xs k] is every [k]-element sublist of [xs], preserving the
+    relative order of elements; [[[]]] when [k = 0], [[]] when
+    [k > List.length xs].
+    @raise Invalid_argument if [k < 0]. *)
+
+val subsets_up_to : 'a list -> int -> 'a list list
+(** [subsets_up_to xs k] is every sublist of [xs] of size [0 .. k], smallest
+    sizes first (so the empty set comes first). *)
+
+val binomial : int -> int -> int
+(** [binomial n k] is the binomial coefficient "n choose k"; [0] when
+    [k < 0] or [k > n]. *)
+
+val phase_count : n:int -> f:int -> int
+(** [phase_count ~n ~f] is the number of phases Algorithm 1 executes on an
+    [n]-node graph with fault budget [f]: [Σ_{k=0}^{f} C(n,k)]. *)

@@ -1,0 +1,159 @@
+let lbc_required_connectivity f = (3 * f / 2) + 1
+let p2p_required_connectivity f = (2 * f) + 1
+
+let hybrid_required_connectivity ~f ~t =
+  if t < 0 || t > f then
+    invalid_arg "Conditions.hybrid_required_connectivity: need 0 <= t <= f";
+  (3 * (f - t) / 2) + (2 * t) + 1
+
+let lbc_feasible g ~f =
+  if f < 0 then invalid_arg "Conditions.lbc_feasible: negative f";
+  Graph.min_degree g >= 2 * f
+  && Disjoint.connectivity_at_least g (lbc_required_connectivity f)
+
+let p2p_feasible g ~f =
+  if f < 0 then invalid_arg "Conditions.p2p_feasible: negative f";
+  Graph.size g >= (3 * f) + 1
+  && Disjoint.connectivity_at_least g (p2p_required_connectivity f)
+
+let small_set_neighbors_at_least g ~t ~bound =
+  let nodes = Graph.nodes g in
+  let sets = Combi.subsets_up_to nodes t in
+  List.for_all
+    (fun s ->
+      match s with
+      | [] -> true
+      | _ ->
+          let s = Nodeset.of_list s in
+          Nodeset.cardinal (Graph.neighbors_of_set g s) >= bound)
+    sets
+
+let hybrid_feasible g ~f ~t =
+  if t < 0 || t > f then
+    invalid_arg "Conditions.hybrid_feasible: need 0 <= t <= f";
+  Disjoint.connectivity_at_least g (hybrid_required_connectivity ~f ~t)
+  && (if t = 0 then Graph.min_degree g >= 2 * f else true)
+  &&
+  if t > 0 then small_set_neighbors_at_least g ~t ~bound:((2 * f) + 1)
+  else true
+
+type verdict =
+  | Feasible
+  | Low_degree of int
+  | Small_cut of Nodeset.t
+  | Too_few_nodes
+  | Starved_set of Nodeset.t
+
+let pp_verdict fmt = function
+  | Feasible -> Format.pp_print_string fmt "feasible"
+  | Low_degree u -> Format.fprintf fmt "node %d has insufficient degree" u
+  | Small_cut c -> Format.fprintf fmt "vertex cut %a is too small" Nodeset.pp c
+  | Too_few_nodes -> Format.pp_print_string fmt "too few nodes (n < 3f+1)"
+  | Starved_set s ->
+      Format.fprintf fmt "set %a has too few neighbours" Nodeset.pp s
+
+let find_low_degree g ~bound =
+  List.find_opt (fun u -> Graph.degree g u < bound) (Graph.nodes g)
+
+(* A connectivity-failure verdict: disconnected graphs are separated by
+   the empty set; complete graphs have no cut at all (they fail a
+   connectivity floor only by being too small); otherwise the minimum cut
+   witnesses the failure. *)
+let cut_verdict g =
+  let n = Graph.size g in
+  if not (Traversal.is_connected g) then Small_cut Nodeset.empty
+  else if Graph.num_edges g = n * (n - 1) / 2 then Too_few_nodes
+  else Small_cut (Disjoint.min_vertex_cut g)
+
+let lbc_explain g ~f =
+  if f < 0 then invalid_arg "Conditions.lbc_explain: negative f";
+  match find_low_degree g ~bound:(2 * f) with
+  | Some u -> Low_degree u
+  | None ->
+      if Disjoint.connectivity_at_least g (lbc_required_connectivity f) then
+        Feasible
+      else cut_verdict g
+
+let p2p_explain g ~f =
+  if f < 0 then invalid_arg "Conditions.p2p_explain: negative f";
+  if Graph.size g < (3 * f) + 1 then Too_few_nodes
+  else if Disjoint.connectivity_at_least g (p2p_required_connectivity f) then
+    Feasible
+  else cut_verdict g
+
+let find_starved_set g ~t ~bound =
+  List.find_map
+    (fun s ->
+      match s with
+      | [] -> None
+      | _ ->
+          let s = Nodeset.of_list s in
+          if Nodeset.cardinal (Graph.neighbors_of_set g s) < bound then Some s
+          else None)
+    (Combi.subsets_up_to (Graph.nodes g) t)
+
+let hybrid_explain g ~f ~t =
+  if t < 0 || t > f then
+    invalid_arg "Conditions.hybrid_explain: need 0 <= t <= f";
+  if not (Disjoint.connectivity_at_least g (hybrid_required_connectivity ~f ~t))
+  then cut_verdict g
+  else if t = 0 then
+    match find_low_degree g ~bound:(2 * f) with
+    | Some u -> Low_degree u
+    | None -> Feasible
+  else
+    match find_starved_set g ~t ~bound:((2 * f) + 1) with
+    | Some s -> Starved_set s
+    | None -> Feasible
+
+let r_robust g ~r =
+  if r < 0 then invalid_arg "Conditions.r_robust: negative r";
+  let n = Graph.size g in
+  if n > 16 then invalid_arg "Conditions.r_robust: graph too large (3^n scan)";
+  (* Enumerate assignments of each node to S1 / S2 / neither via base-3
+     counters; the pair (S1, S2) and (S2, S1) are symmetric, so only keep
+     assignments where the smallest assigned node is in S1. *)
+  let has_r_reaching set =
+    Nodeset.exists
+      (fun u ->
+        Nodeset.cardinal (Nodeset.diff (Graph.neighbors g u) set) >= r)
+      set
+  in
+  let rec scan code =
+    if code >= int_of_float (3. ** float_of_int n) then true
+    else begin
+      let s1 = ref Nodeset.empty and s2 = ref Nodeset.empty in
+      let c = ref code in
+      for u = 0 to n - 1 do
+        (match !c mod 3 with
+        | 1 -> s1 := Nodeset.add u !s1
+        | 2 -> s2 := Nodeset.add u !s2
+        | _ -> ());
+        c := !c / 3
+      done;
+      if
+        Nodeset.is_empty !s1 || Nodeset.is_empty !s2
+        || Nodeset.min_elt !s1 > Nodeset.min_elt !s2
+      then scan (code + 1)
+      else if has_r_reaching !s1 || has_r_reaching !s2 then scan (code + 1)
+      else false
+    end
+  in
+  scan 0
+
+let max_by feasible =
+  let rec go f = if feasible (f + 1) then go (f + 1) else f in
+  go
+
+let max_f_lbc g =
+  if not (lbc_feasible g ~f:0) then 0
+  else max_by (fun f -> lbc_feasible g ~f) 0
+
+let max_f_p2p g =
+  if not (p2p_feasible g ~f:0) then 0
+  else max_by (fun f -> p2p_feasible g ~f) 0
+
+let max_f_hybrid g ~t =
+  if t < 0 then invalid_arg "Conditions.max_f_hybrid: negative t";
+  if not (hybrid_feasible g ~f:t ~t) then -1
+  else max_by (fun f -> hybrid_feasible g ~f ~t) t

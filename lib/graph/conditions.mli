@@ -1,0 +1,87 @@
+(** Feasibility conditions for exact Byzantine consensus, for all three
+    communication models treated in the paper.
+
+    - Local broadcast (Theorems 4.1 / 5.1): min degree ≥ 2f and
+      connectivity ≥ ⌊3f/2⌋ + 1.
+    - Point-to-point (Dolev'82, quoted in §1): n ≥ 3f + 1 and connectivity
+      ≥ 2f + 1.
+    - Hybrid with at most t ≤ f equivocating faults (Theorem 6.1):
+      (i) connectivity ≥ ⌊3(f−t)/2⌋ + 2t + 1;
+      (ii) if t = 0, min degree ≥ 2f;
+      (iii) if t > 0, every non-empty node set S with |S| ≤ t has at least
+      2f + 1 neighbours. *)
+
+val lbc_required_connectivity : int -> int
+(** [lbc_required_connectivity f] = ⌊3f/2⌋ + 1. *)
+
+val p2p_required_connectivity : int -> int
+(** [p2p_required_connectivity f] = 2f + 1. *)
+
+val hybrid_required_connectivity : f:int -> t:int -> int
+(** [hybrid_required_connectivity ~f ~t] = ⌊3(f−t)/2⌋ + 2t + 1.
+    @raise Invalid_argument unless [0 <= t <= f]. *)
+
+val lbc_feasible : Graph.t -> f:int -> bool
+(** Does [g] satisfy the tight local-broadcast condition for [f] faults? *)
+
+val p2p_feasible : Graph.t -> f:int -> bool
+(** Does [g] satisfy the classical point-to-point condition for [f]
+    faults? *)
+
+val small_set_neighbors_at_least : Graph.t -> t:int -> bound:int -> bool
+(** [small_set_neighbors_at_least g ~t ~bound]: does every node set [S] with
+    [0 < |S| <= t] have at least [bound] neighbours outside [S]? Checked by
+    exhaustive enumeration; exponential in [t], intended for small [t]. *)
+
+val hybrid_feasible : Graph.t -> f:int -> t:int -> bool
+(** Does [g] satisfy all three hybrid conditions of Theorem 6.1? *)
+
+(** {1 Certificates}
+
+    Witness-producing variants of the feasibility checks: when a graph
+    fails a condition, they return the offending structure — the exact
+    object the corresponding impossibility gadget needs. *)
+
+type verdict =
+  | Feasible
+  | Low_degree of int  (** a node of degree < 2f (Lemma A.1 material) *)
+  | Small_cut of Nodeset.t
+      (** a vertex cut below the required connectivity (Lemma A.2 /
+          D.2 material) *)
+  | Too_few_nodes  (** n < 3f + 1 (point-to-point only) *)
+  | Starved_set of Nodeset.t
+      (** a set S, 0 < |S| ≤ t, with fewer than 2f + 1 neighbours
+          (hybrid condition (iii), Lemma D.1 material) *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val lbc_explain : Graph.t -> f:int -> verdict
+(** Why does [g] (fail to) satisfy the local-broadcast condition? *)
+
+val p2p_explain : Graph.t -> f:int -> verdict
+(** Same for the classical point-to-point condition. *)
+
+val hybrid_explain : Graph.t -> f:int -> t:int -> verdict
+(** Same for Theorem 6.1's hybrid condition. *)
+
+val r_robust : Graph.t -> r:int -> bool
+(** [r_robust g ~r]: for every pair of disjoint non-empty node sets
+    [S1, S2], at least one of them contains a node with at least [r]
+    neighbours outside its own set. This is the network property required
+    by W-MSR-style iterative approximate consensus (LeBlanc et al.,
+    quoted in the paper's §2) — strictly stronger than the tight exact
+    consensus condition. Checked by exhaustive enumeration (3^n pairs);
+    intended for graphs of ≲ 13 nodes. *)
+
+val max_f_lbc : Graph.t -> int
+(** Largest [f] for which [lbc_feasible g ~f]; [0] when even f = 1 fails
+    (f = 0 is always feasible on a connected graph, by convention we still
+    report 0). *)
+
+val max_f_p2p : Graph.t -> int
+(** Largest [f] for which [p2p_feasible g ~f]. *)
+
+val max_f_hybrid : Graph.t -> t:int -> int
+(** Largest [f >= t] for which [hybrid_feasible g ~f ~t]; [-1] when no such
+    [f] exists (e.g. the neighbourhood condition already fails at
+    [f = t]). *)

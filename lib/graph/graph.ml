@@ -1,0 +1,129 @@
+type t = { size : int; adj : Nodeset.t array }
+
+exception Invalid_node of int
+
+let check t u = if u < 0 || u >= t.size then raise (Invalid_node u)
+
+let create size =
+  if size < 0 then invalid_arg "Graph.create: negative size";
+  { size; adj = Array.make size Nodeset.empty }
+
+let add_edge t u v =
+  check t u;
+  check t v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  t.adj.(u) <- Nodeset.add v t.adj.(u);
+  t.adj.(v) <- Nodeset.add u t.adj.(v)
+
+let remove_edge t u v =
+  check t u;
+  check t v;
+  t.adj.(u) <- Nodeset.remove v t.adj.(u);
+  t.adj.(v) <- Nodeset.remove u t.adj.(v)
+
+let of_edges size edges =
+  let g = create size in
+  List.iter (fun (u, v) -> add_edge g u v) edges;
+  g
+
+let copy t = { size = t.size; adj = Array.copy t.adj }
+
+let without_nodes t s =
+  let g = copy t in
+  Nodeset.iter
+    (fun u ->
+      if u >= 0 && u < g.size then begin
+        Nodeset.iter (fun v -> g.adj.(v) <- Nodeset.remove u g.adj.(v)) g.adj.(u);
+        g.adj.(u) <- Nodeset.empty
+      end)
+    s;
+  g
+
+let size t = t.size
+
+let mem_edge t u v =
+  check t u;
+  check t v;
+  Nodeset.mem v t.adj.(u)
+
+let neighbors t u =
+  check t u;
+  t.adj.(u)
+
+let neighbor_list t u = Nodeset.elements (neighbors t u)
+let degree t u = Nodeset.cardinal (neighbors t u)
+
+let min_degree t =
+  if t.size = 0 then 0
+  else Array.fold_left (fun acc s -> min acc (Nodeset.cardinal s)) max_int t.adj
+
+let max_degree t =
+  Array.fold_left (fun acc s -> max acc (Nodeset.cardinal s)) 0 t.adj
+
+let nodes t = List.init t.size Fun.id
+let node_set t = Nodeset.of_range 0 (t.size - 1)
+
+let edges t =
+  let acc = ref [] in
+  for u = t.size - 1 downto 0 do
+    Nodeset.iter (fun v -> if u < v then acc := (u, v) :: !acc) t.adj.(u)
+  done;
+  !acc
+
+let num_edges t =
+  Array.fold_left (fun acc s -> acc + Nodeset.cardinal s) 0 t.adj / 2
+
+let neighbors_of_set t s =
+  Nodeset.fold
+    (fun u acc ->
+      if u < 0 || u >= t.size then acc else Nodeset.union acc t.adj.(u))
+    s Nodeset.empty
+  |> fun all -> Nodeset.diff all s
+
+let equal a b =
+  a.size = b.size && Array.for_all2 Nodeset.equal a.adj b.adj
+
+let is_path t p =
+  let rec adjacent_ok = function
+    | u :: (v :: _ as rest) -> mem_edge t u v && adjacent_ok rest
+    | [ _ ] | [] -> true
+  in
+  match p with
+  | [] -> false
+  | _ ->
+      List.for_all (fun u -> u >= 0 && u < t.size) p
+      && List.length p = Nodeset.cardinal (Nodeset.of_list p)
+      && adjacent_ok p
+
+let path_internal p =
+  match p with
+  | [] | [ _ ] | [ _; _ ] -> []
+  | _ :: rest -> (
+      match List.rev rest with _ :: mid_rev -> List.rev mid_rev | [] -> [])
+
+let path_excludes p x =
+  List.for_all (fun u -> not (Nodeset.mem u x)) (path_internal p)
+
+let pp fmt t =
+  Format.fprintf fmt "graph(n=%d; %a)" t.size
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+       (fun fmt (u, v) -> Format.fprintf fmt "%d-%d" u v))
+    (edges t)
+
+let to_dot ?(name = "g") ?(highlight = Nodeset.empty) t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  List.iter
+    (fun u ->
+      let style =
+        if Nodeset.mem u highlight then " [style=filled fillcolor=gray]"
+        else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  %d%s;\n" u style))
+    (nodes t);
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    (edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

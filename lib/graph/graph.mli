@@ -1,0 +1,111 @@
+(** Undirected graphs over dense integer node identifiers.
+
+    A graph over [size] nodes has node identifiers [0 .. size - 1]. Edges are
+    unordered pairs of distinct nodes (no self-loops, no parallel edges).
+    The representation is an adjacency array of {!Nodeset.t}; mutation is
+    confined to construction ([add_edge] / [remove_edge]).
+
+    Terminology follows the paper (Khan–Naqvi–Vaidya, PODC'19, §3):
+    - a {e path} is a sequence of nodes in which consecutive nodes are
+      adjacent; all paths manipulated here are {e simple} (no repeats);
+    - a path {e excludes} a set [x] when none of its {e internal} nodes
+      (everything but the two endpoints) belongs to [x];
+    - the {e neighbours of a set} [s] are the nodes outside [s] adjacent to
+      some member of [s]. *)
+
+type t
+
+exception Invalid_node of int
+(** Raised when a node identifier is outside [0 .. size - 1]. *)
+
+(** {1 Construction} *)
+
+val create : int -> t
+(** [create size] is the edgeless graph on nodes [0 .. size - 1].
+    @raise Invalid_argument if [size < 0]. *)
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g u v] adds the undirected edge [uv]. Adding an existing edge
+    is a no-op.
+    @raise Invalid_node if [u] or [v] is out of range.
+    @raise Invalid_argument on a self-loop ([u = v]). *)
+
+val remove_edge : t -> int -> int -> unit
+(** [remove_edge g u v] removes edge [uv] if present. *)
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges size edges] builds a graph from an edge list. *)
+
+val copy : t -> t
+(** [copy g] is an independent copy of [g]. *)
+
+val without_nodes : t -> Nodeset.t -> t
+(** [without_nodes g s] is a copy of [g] in which every edge incident to a
+    node of [s] has been removed. Node identifiers are preserved; members of
+    [s] become isolated. *)
+
+(** {1 Observation} *)
+
+val size : t -> int
+(** Number of nodes. *)
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g u v] is [true] iff [uv] is an edge. *)
+
+val neighbors : t -> int -> Nodeset.t
+(** [neighbors g u] is the set of nodes adjacent to [u]. *)
+
+val neighbor_list : t -> int -> int list
+(** [neighbor_list g u] is [Nodeset.elements (neighbors g u)]. *)
+
+val degree : t -> int -> int
+(** Number of neighbours of a node. *)
+
+val min_degree : t -> int
+(** Minimum degree over all nodes; [0] for the empty graph. *)
+
+val max_degree : t -> int
+(** Maximum degree over all nodes; [0] for the empty graph. *)
+
+val nodes : t -> int list
+(** [nodes g] is [[0; 1; ...; size g - 1]]. *)
+
+val node_set : t -> Nodeset.t
+(** All nodes as a set. *)
+
+val edges : t -> (int * int) list
+(** All edges, each reported once as [(u, v)] with [u < v]. *)
+
+val num_edges : t -> int
+(** Number of edges. *)
+
+val neighbors_of_set : t -> Nodeset.t -> Nodeset.t
+(** [neighbors_of_set g s] is the set of nodes outside [s] that are adjacent
+    to some node in [s] (the paper's "neighbours of S"). *)
+
+val equal : t -> t -> bool
+(** Structural equality (same size, same edge set). *)
+
+(** {1 Paths} *)
+
+val is_path : t -> int list -> bool
+(** [is_path g p] is [true] iff [p] is a non-empty simple path of [g]: all
+    nodes are valid and distinct, and consecutive nodes are adjacent. A
+    single node is a (trivial) path. *)
+
+val path_internal : int list -> int list
+(** Internal nodes of a path: everything except the two endpoints. The
+    internal part of a path with fewer than three nodes is empty. *)
+
+val path_excludes : int list -> Nodeset.t -> bool
+(** [path_excludes p x] is [true] iff no internal node of [p] is in [x]
+    (endpoints may be in [x]). *)
+
+(** {1 Output} *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering: size and edge list. *)
+
+val to_dot : ?name:string -> ?highlight:Nodeset.t -> t -> string
+(** [to_dot g] is a Graphviz rendering of [g]; nodes in [highlight] are
+    drawn filled. *)

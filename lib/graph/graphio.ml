@@ -1,0 +1,62 @@
+let to_edge_list g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (string_of_int (Graph.size g));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v))
+    (Graph.edges g);
+  Buffer.contents buf
+
+let of_edge_list text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> Error "empty input"
+  | header :: rest -> (
+      match int_of_string_opt header with
+      | None -> Error (Printf.sprintf "bad node count %S" header)
+      | Some n when n < 0 -> Error "negative node count"
+      | Some n -> (
+          let g = Graph.create n in
+          let parse_edge line =
+            match
+              String.split_on_char ' ' line
+              |> List.filter (fun s -> s <> "")
+            with
+            | [ u; v ] -> (
+                match (int_of_string_opt u, int_of_string_opt v) with
+                | Some u, Some v -> Ok (u, v)
+                | _ -> Error (Printf.sprintf "bad edge line %S" line))
+            | _ -> Error (Printf.sprintf "bad edge line %S" line)
+          in
+          let rec go = function
+            | [] -> Ok g
+            | line :: rest -> (
+                match parse_edge line with
+                | Error _ as e -> e
+                | Ok (u, v) -> (
+                    match Graph.add_edge g u v with
+                    | () -> go rest
+                    | exception Graph.Invalid_node k ->
+                        Error (Printf.sprintf "node %d out of range" k)
+                    | exception Invalid_argument msg -> Error msg))
+          in
+          go rest))
+
+let to_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_edge_list g))
+
+let of_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          of_edge_list (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,26 @@
+(** Plain-text graph serialisation.
+
+    The edge-list format is one header line with the node count followed
+    by one ["u v"] line per edge:
+
+    {v
+    5
+    0 1
+    1 2
+    ...
+    v}
+
+    Lines starting with [#] and blank lines are ignored on input. *)
+
+val to_edge_list : Graph.t -> string
+(** Serialise (edges in canonical [u < v] order). *)
+
+val of_edge_list : string -> (Graph.t, string) result
+(** Parse; [Error] describes the first offending line. *)
+
+val to_file : string -> Graph.t -> unit
+(** Write the edge-list rendering to a file. *)
+
+val of_file : string -> (Graph.t, string) result
+(** Read a graph from an edge-list file; [Error] on unreadable files or
+    parse failures. *)

@@ -1,0 +1,146 @@
+(* Edge-list residual representation: arc [i] and its residual twin [i lxor 1]. *)
+
+type t = {
+  n : int;
+  mutable dst : int array; (* arc index -> head vertex *)
+  mutable cap : int array; (* arc index -> remaining capacity *)
+  mutable src_of : int array; (* arc index -> tail vertex *)
+  mutable out : int list array; (* vertex -> incident arc indices *)
+  mutable m : int; (* number of arcs *)
+}
+
+let create n =
+  {
+    n;
+    dst = Array.make 16 0;
+    cap = Array.make 16 0;
+    src_of = Array.make 16 0;
+    out = Array.make (max n 1) [];
+    m = 0;
+  }
+
+let grow t =
+  let len = Array.length t.dst in
+  if t.m + 2 > len then begin
+    let len' = 2 * len in
+    let ext a fill =
+      let a' = Array.make len' fill in
+      Array.blit a 0 a' 0 len;
+      a'
+    in
+    t.dst <- ext t.dst 0;
+    t.cap <- ext t.cap 0;
+    t.src_of <- ext t.src_of 0
+  end
+
+let add_edge t ~src ~dst ~cap =
+  if cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Maxflow.add_edge: vertex out of range";
+  grow t;
+  let i = t.m in
+  t.dst.(i) <- dst;
+  t.cap.(i) <- cap;
+  t.src_of.(i) <- src;
+  t.dst.(i + 1) <- src;
+  t.cap.(i + 1) <- 0;
+  t.src_of.(i + 1) <- dst;
+  t.out.(src) <- i :: t.out.(src);
+  t.out.(dst) <- (i + 1) :: t.out.(dst);
+  t.m <- t.m + 2
+
+(* One BFS augmentation; returns the amount pushed (0 when no augmenting
+   path exists, otherwise the path bottleneck clamped to [max_push]). *)
+let augment t ~src ~sink ~max_push =
+  let pred = Array.make t.n (-1) in
+  (* arc used to reach vertex *)
+  let seen = Array.make t.n false in
+  seen.(src) <- true;
+  let q = Queue.create () in
+  Queue.add src q;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun i ->
+        let v = t.dst.(i) in
+        if (not seen.(v)) && t.cap.(i) > 0 then begin
+          seen.(v) <- true;
+          pred.(v) <- i;
+          if v = sink then found := true else Queue.add v q
+        end)
+      t.out.(u)
+  done;
+  if not !found then 0
+  else begin
+    let rec bottleneck v acc =
+      if v = src then acc
+      else
+        let i = pred.(v) in
+        bottleneck t.src_of.(i) (min acc t.cap.(i))
+    in
+    let b = min (bottleneck sink max_int) max_push in
+    let rec push v =
+      if v <> src then begin
+        let i = pred.(v) in
+        t.cap.(i) <- t.cap.(i) - b;
+        t.cap.(i lxor 1) <- t.cap.(i lxor 1) + b;
+        push t.src_of.(i)
+      end
+    in
+    push sink;
+    b
+  end
+
+let max_flow ?(limit = max_int) t ~src ~sink =
+  if src = sink then invalid_arg "Maxflow.max_flow: src = sink";
+  let total = ref 0 in
+  let continue = ref true in
+  while !continue && !total < limit do
+    let b = augment t ~src ~sink ~max_push:(limit - !total) in
+    if b = 0 then continue := false else total := !total + b
+  done;
+  !total
+
+(* Forward arc [i] carries flow equal to the capacity accumulated on its
+   residual twin. Forward arcs are the even-indexed ones. *)
+let flow_successors t u =
+  List.concat_map
+    (fun i ->
+      if i land 1 = 0 && t.cap.(i lxor 1) > 0 then
+        List.init t.cap.(i lxor 1) (fun _ -> t.dst.(i))
+      else [])
+    t.out.(u)
+
+let consume_flow_edge t ~src ~dst =
+  let rec find = function
+    | [] -> false
+    | i :: rest ->
+        if i land 1 = 0 && t.dst.(i) = dst && t.cap.(i lxor 1) > 0 then begin
+          t.cap.(i lxor 1) <- t.cap.(i lxor 1) - 1;
+          t.cap.(i) <- t.cap.(i) + 1;
+          true
+        end
+        else find rest
+  in
+  find t.out.(src)
+
+let residual_reachable t ~src =
+  let seen = Array.make t.n false in
+  seen.(src) <- true;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun i ->
+        let v = t.dst.(i) in
+        if (not seen.(v)) && t.cap.(i) > 0 then begin
+          seen.(v) <- true;
+          Queue.add v q
+        end)
+      t.out.(u)
+  done;
+  let acc = ref Nodeset.empty in
+  Array.iteri (fun v s -> if s then acc := Nodeset.add v !acc) seen;
+  !acc

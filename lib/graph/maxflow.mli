@@ -1,0 +1,35 @@
+(** Integer maximum flow on directed networks (Edmonds–Karp).
+
+    Small, dependency-free max-flow used to compute Menger-style
+    node-disjoint path counts. Networks are built imperatively; every
+    [add_edge] creates a forward arc and its zero-capacity residual twin. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty network on vertices [0 .. n - 1]. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> unit
+(** Add a directed arc with the given non-negative capacity. Parallel arcs
+    are permitted (capacities add up behaviourally). *)
+
+val max_flow : ?limit:int -> t -> src:int -> sink:int -> int
+(** [max_flow t ~src ~sink] computes the maximum flow value and leaves the
+    flow recorded in the network. With [~limit:k], augmentation stops as
+    soon as the flow reaches [k] (useful for threshold queries). Calling it
+    again on the same network resumes from the current flow. *)
+
+val flow_successors : t -> int -> int list
+(** After [max_flow]: the vertices [v] such that some arc [u -> v] carries
+    at least one unit of flow, with multiplicity (an arc carrying [k] units
+    appears [k] times). Used for path decomposition. *)
+
+val consume_flow_edge : t -> src:int -> dst:int -> bool
+(** After [max_flow]: remove one unit of flow from some arc [src -> dst];
+    [false] if no such arc carries flow. Used while decomposing the flow
+    into paths. *)
+
+val residual_reachable : t -> src:int -> Nodeset.t
+(** After [max_flow]: the set of vertices reachable from [src] in the
+    residual network; its complement side of the sink induces a minimum
+    cut. *)

@@ -1,0 +1,14 @@
+include Set.Make (Int)
+
+let of_range lo hi =
+  let rec loop acc i = if i > hi then acc else loop (add i acc) (i + 1) in
+  loop empty lo
+
+let pp fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       Format.pp_print_int)
+    (elements s)
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,17 @@
+(** Sets of node identifiers.
+
+    Nodes are identified by dense non-negative integers; a set of nodes is an
+    ordinary [Set.Make (Int)] set extended with a few convenience
+    constructors used throughout the library. *)
+
+include module type of Set.Make (Int)
+
+val of_range : int -> int -> t
+(** [of_range lo hi] is the set [{lo, lo+1, ..., hi}]; empty when
+    [hi < lo]. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt s] prints [s] as ["{0, 3, 7}"]. *)
+
+val to_string : t -> string
+(** [to_string s] is [Format.asprintf "%a" pp s]. *)

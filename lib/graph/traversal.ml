@@ -1,0 +1,115 @@
+let bfs_dist ?(exclude = Nodeset.empty) g src =
+  let n = Graph.size g in
+  let dist = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    (* Excluded nodes are reachable but act as dead ends (they may only be
+       path endpoints); the source is always expanded. *)
+    if u = src || not (Nodeset.mem u exclude) then
+      Nodeset.iter
+        (fun v ->
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+        (Graph.neighbors g u)
+  done;
+  dist
+
+let is_connected g =
+  let n = Graph.size g in
+  if n <= 1 then true
+  else
+    let dist = bfs_dist g 0 in
+    Array.for_all (fun d -> d >= 0) dist
+
+let components g =
+  let n = Graph.size g in
+  let seen = Array.make n false in
+  let comps = ref [] in
+  for s = 0 to n - 1 do
+    if not seen.(s) then begin
+      let dist = bfs_dist g s in
+      let comp = ref Nodeset.empty in
+      Array.iteri
+        (fun v d ->
+          if d >= 0 && not seen.(v) then begin
+            seen.(v) <- true;
+            comp := Nodeset.add v !comp
+          end)
+        dist;
+      comps := !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let shortest_path ?(exclude = Nodeset.empty) g ~src ~dst =
+  if src = dst then Some [ src ]
+  else begin
+    let n = Graph.size g in
+    let parent = Array.make n (-1) in
+    let seen = Array.make n false in
+    let q = Queue.create () in
+    seen.(src) <- true;
+    Queue.add src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      if u = src || u = dst || not (Nodeset.mem u exclude) then
+        Nodeset.iter
+          (fun v ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              parent.(v) <- u;
+              if v = dst then found := true else Queue.add v q
+            end)
+          (Graph.neighbors g u)
+    done;
+    if not !found then None
+    else begin
+      let rec build v acc =
+        if v = src then src :: acc else build parent.(v) (v :: acc)
+      in
+      Some (build dst [])
+    end
+  end
+
+let count_simple_paths g ~src ~dst =
+  if src = dst then 0
+  else begin
+    let count = ref 0 in
+    let rec visit u used =
+      Nodeset.iter
+        (fun v ->
+          if v = dst then incr count
+          else if not (Nodeset.mem v used) then visit v (Nodeset.add v used))
+        (Graph.neighbors g u)
+    in
+    visit src (Nodeset.of_list [ src; dst ]);
+    !count
+  end
+
+let all_simple_paths ?(exclude = Nodeset.empty) ?max_interior g ~src ~dst =
+  let bound = match max_interior with Some b -> b | None -> Graph.size g in
+  let acc = ref [] in
+  (* [visit u prefix_rev used interior] explores from [u]; [prefix_rev] holds
+     the path so far in reverse, [u] included. *)
+  let rec visit u prefix_rev used interior =
+    if u = dst then acc := List.rev prefix_rev :: !acc
+    else if interior <= bound then
+      Nodeset.iter
+        (fun v ->
+          if not (Nodeset.mem v used) then
+            if v = dst then acc := List.rev (v :: prefix_rev) :: !acc
+            else if (not (Nodeset.mem v exclude)) && interior < bound then
+              visit v (v :: prefix_rev) (Nodeset.add v used) (interior + 1))
+        (Graph.neighbors g u)
+  in
+  if src = dst then [ [ src ] ]
+  else begin
+    visit src [ src ] (Nodeset.singleton src) 0;
+    List.rev !acc
+  end

@@ -1,0 +1,45 @@
+(** Graph traversal: BFS distances, connectivity by components, shortest
+    paths, paths excluding a node set, and exhaustive simple-path
+    enumeration.
+
+    Several functions take an [exclude] set of nodes. Excluded nodes may not
+    appear as {e internal} nodes of any discovered path; the source and
+    destination are always allowed to be members of [exclude], matching the
+    paper's notion of a path that "excludes" a set. *)
+
+val bfs_dist : ?exclude:Nodeset.t -> Graph.t -> int -> int array
+(** [bfs_dist g src] is the array of hop distances from [src]; unreachable
+    nodes map to [-1]. With [~exclude:x], the search does not traverse
+    {e through} nodes of [x]: such nodes may be reached (their distance is
+    recorded) but never expanded. [src] itself is always expanded. *)
+
+val is_connected : Graph.t -> bool
+(** [is_connected g] is [true] iff [g] has one connected component (the
+    empty and one-node graphs are connected). *)
+
+val components : Graph.t -> Nodeset.t list
+(** Connected components, each as a node set. *)
+
+val shortest_path :
+  ?exclude:Nodeset.t -> Graph.t -> src:int -> dst:int -> int list option
+(** [shortest_path g ~src ~dst] is a minimum-hop simple path from [src] to
+    [dst] (inclusive of both), or [None] if none exists. With [~exclude:x]
+    the path must exclude [x] (no internal node in [x]); endpoints may be in
+    [x]. [shortest_path g ~src ~dst:src] is [Some [src]]. *)
+
+val all_simple_paths :
+  ?exclude:Nodeset.t ->
+  ?max_interior:int ->
+  Graph.t ->
+  src:int ->
+  dst:int ->
+  int list list
+(** All simple [src]-[dst] paths (endpoints included), optionally bounded by
+    the number of internal nodes and excluding [exclude] internally.
+    Exponential in general; intended for small graphs and tests. *)
+
+val count_simple_paths : Graph.t -> src:int -> dst:int -> int
+(** Number of simple [src]-[dst] paths with at least one edge ([0] when
+    [src = dst]). Counts without materialising the paths; still
+    exponential time in general. Drives the message-complexity
+    predictions for path-annotated flooding. *)

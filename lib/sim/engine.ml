@@ -1,0 +1,115 @@
+type node_id = int
+
+type topology = {
+  n : int;
+  hears : node_id -> node_id list;
+  link : node_id -> node_id -> bool;
+}
+
+let topology_of_graph g =
+  let n = Lbc_graph.Graph.size g in
+  let tbl = Array.init n (fun u -> Lbc_graph.Graph.neighbor_list g u) in
+  {
+    n;
+    hears = (fun u -> tbl.(u));
+    link = (fun u v -> Lbc_graph.Graph.mem_edge g u v);
+  }
+
+let topology_directed ~n ~out =
+  let tbl = Array.init n (fun u -> List.sort_uniq compare (out u)) in
+  let sets = Array.map Lbc_graph.Nodeset.of_list tbl in
+  {
+    n;
+    hears = (fun u -> tbl.(u));
+    link = (fun u v -> Lbc_graph.Nodeset.mem v sets.(u));
+  }
+
+type model =
+  | Local_broadcast
+  | Point_to_point
+  | Hybrid of Lbc_graph.Nodeset.t
+
+type 'msg delivery = Broadcast of 'msg | Unicast of node_id * 'msg
+
+exception Model_violation of string
+
+type ('msg, 'out) proc = {
+  step : round:int -> inbox:(node_id * 'msg) list -> 'msg list;
+  output : unit -> 'out;
+}
+
+type 'msg fstep = round:int -> inbox:(node_id * 'msg) list -> 'msg delivery list
+type ('msg, 'out) role = Honest of ('msg, 'out) proc | Faulty of 'msg fstep
+
+type stats = { rounds : int; transmissions : int; deliveries : int }
+
+type ('msg, 'out) result = {
+  outputs : 'out option array;
+  stats : stats;
+  transcript : (int * node_id * 'msg delivery) list;
+}
+
+let may_unicast model u =
+  match model with
+  | Local_broadcast -> false
+  | Point_to_point -> true
+  | Hybrid equivocators -> Lbc_graph.Nodeset.mem u equivocators
+
+let run ?(record = false) topo ~model ~rounds ~roles =
+  if Array.length roles <> topo.n then
+    invalid_arg "Engine.run: roles length must equal topology size";
+  let transmissions = ref 0 in
+  let deliveries = ref 0 in
+  let transcript = ref [] in
+  (* inboxes.(v) accumulates (sender, msg) for the next round, in reverse
+     arrival order; arrival order is (sender asc, emission order), which we
+     obtain by iterating senders in ascending id order each round. *)
+  let inboxes = Array.make topo.n [] in
+  for round = 0 to rounds - 1 do
+    let incoming = Array.map List.rev inboxes in
+    Array.fill inboxes 0 topo.n [];
+    for u = 0 to topo.n - 1 do
+      let out =
+        match roles.(u) with
+        | Honest p -> List.map (fun m -> Broadcast m) (p.step ~round ~inbox:incoming.(u))
+        | Faulty f -> f ~round ~inbox:incoming.(u)
+      in
+      List.iter
+        (fun d ->
+          incr transmissions;
+          if record then transcript := (round, u, d) :: !transcript;
+          match d with
+          | Broadcast m ->
+              List.iter
+                (fun v ->
+                  incr deliveries;
+                  inboxes.(v) <- (u, m) :: inboxes.(v))
+                (topo.hears u)
+          | Unicast (v, m) ->
+              if not (may_unicast model u) then
+                raise
+                  (Model_violation
+                     (Printf.sprintf
+                        "node %d attempted unicast under a broadcast-bound \
+                         model"
+                        u));
+              if not (topo.link u v) then
+                raise
+                  (Model_violation
+                     (Printf.sprintf "node %d unicast to non-neighbour %d" u v));
+              incr deliveries;
+              inboxes.(v) <- (u, m) :: inboxes.(v))
+        out
+    done
+  done;
+  let outputs =
+    Array.map
+      (function Honest p -> Some (p.output ()) | Faulty _ -> None)
+      roles
+  in
+  {
+    outputs;
+    stats =
+      { rounds; transmissions = !transmissions; deliveries = !deliveries };
+    transcript = List.rev !transcript;
+  }

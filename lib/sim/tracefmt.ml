@@ -1,0 +1,28 @@
+let pp_transcript ~pp_msg fmt transcript =
+  let last_round = ref (-1) in
+  List.iter
+    (fun (round, sender, delivery) ->
+      if round <> !last_round then begin
+        Format.fprintf fmt "@[-- round %d --@]@." round;
+        last_round := round
+      end;
+      match delivery with
+      | Engine.Broadcast m ->
+          Format.fprintf fmt "  %d => *: %a@." sender pp_msg m
+      | Engine.Unicast (dst, m) ->
+          Format.fprintf fmt "  %d -> %d: %a@." sender dst pp_msg m)
+    transcript
+
+let pp_stats fmt (s : Engine.stats) =
+  Format.fprintf fmt "%d rounds, %d transmissions, %d deliveries"
+    s.Engine.rounds s.Engine.transmissions s.Engine.deliveries
+
+let transmissions_by_round transcript =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (round, _, _) ->
+      Hashtbl.replace tbl round
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl round)))
+    transcript;
+  Hashtbl.fold (fun r c acc -> (r, c) :: acc) tbl []
+  |> List.sort compare

@@ -1,0 +1,22 @@
+(** Human-readable rendering of engine transcripts.
+
+    A transcript (from {!Engine.run} with [~record:true]) lists every
+    transmission as [(round, sender, delivery)]. This module renders it
+    grouped by round, with a caller-supplied message printer — useful for
+    debugging protocol behaviour and for the CLI's verbose mode. *)
+
+val pp_transcript :
+  pp_msg:(Format.formatter -> 'msg -> unit) ->
+  Format.formatter ->
+  (int * Engine.node_id * 'msg Engine.delivery) list ->
+  unit
+(** Render a transcript grouped by round; broadcasts print as
+    ["3 => *: msg"], unicasts as ["3 -> 5: msg"]. *)
+
+val pp_stats : Format.formatter -> Engine.stats -> unit
+(** One-line statistics summary. *)
+
+val transmissions_by_round :
+  (int * Engine.node_id * 'msg Engine.delivery) list -> (int * int) list
+(** Number of transmissions per round, as [(round, count)] in round
+    order; rounds without transmissions are omitted. *)

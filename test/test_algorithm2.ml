@@ -1,0 +1,251 @@
+(* End-to-end tests for Algorithm 2 (Theorem 5.6): consensus in O(n)
+   rounds on 2f-connected graphs, soundness of fault discovery, and the
+   type A / type B mechanics. *)
+
+module A2 = Lbc_consensus.Algorithm2
+module Bit = Lbc_consensus.Bit
+module Spec = Lbc_consensus.Spec
+module S = Lbc_adversary.Strategy
+module B = Lbc_graph.Builders
+module G = Lbc_graph.Graph
+module Nodeset = Lbc_graph.Nodeset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ok_decides uni o =
+  Spec.agreement o && Spec.validity o && Spec.decision o = Some uni
+
+let test_no_faults () =
+  let g = B.cycle 6 in
+  List.iter
+    (fun uni ->
+      let o =
+        A2.run ~g ~f:1 ~inputs:(Array.make 6 uni) ~faulty:Nodeset.empty ()
+      in
+      check "decides unanimous" true (ok_decides uni o))
+    [ Bit.Zero; Bit.One ];
+  let o =
+    A2.run ~g ~f:1
+      ~inputs:[| Bit.Zero; Bit.One; Bit.One; Bit.Zero; Bit.One; Bit.Zero |]
+      ~faulty:Nodeset.empty ()
+  in
+  check "mixed consensus" true (Spec.consensus_ok o)
+
+let test_cycle_f1_exhaustive () =
+  let g = B.fig1a () in
+  List.iter
+    (fun uni ->
+      List.iter
+        (fun kind ->
+          List.iter
+            (fun bad ->
+              let inputs = Array.make 5 uni in
+              inputs.(bad) <- Bit.flip uni;
+              let o =
+                A2.run ~g ~f:1 ~inputs ~faulty:(Nodeset.singleton bad)
+                  ~strategy:(fun _ -> kind) ()
+              in
+              check
+                (Format.asprintf "uni=%a bad=%d %a" Bit.pp uni bad S.pp_kind
+                   kind)
+                true (ok_decides uni o))
+            [ 0; 1; 2; 3; 4 ])
+        S.kinds_lbc)
+    [ Bit.Zero; Bit.One ]
+
+let test_omission_regression () =
+  (* Regression: a silent (or crashing) relay with mixed inputs used to
+     break agreement — the tamper-only fault discovery of Appendix C
+     leaves omissions undetected and Lemma C.4 fails. Concrete instances
+     found by the adversarial sweep (random_augmented_circulant seeds 0,
+     1, 2 on 5 nodes). The omission-evidence extension repairs them. *)
+  List.iter
+    (fun (seed, bad, kind) ->
+      let g = B.random_augmented_circulant ~seed ~n:5 ~k:2 ~extra:0.15 in
+      let st = Random.State.make [| seed; 3 |] in
+      let inputs =
+        Array.init 5 (fun _ -> Bit.of_bool (Random.State.bool st))
+      in
+      let bad' = Random.State.int st 5 in
+      ignore bad;
+      let o =
+        A2.run ~g ~f:1 ~inputs ~faulty:(Nodeset.singleton bad')
+          ~strategy:(fun _ -> kind) ~seed ()
+      in
+      check
+        (Printf.sprintf "seed %d" seed)
+        true (Spec.consensus_ok o))
+    [ (0, 1, S.Silent); (0, 1, S.Crash_at 1); (0, 1, S.Crash_at 2);
+      (1, 4, S.Silent); (2, 2, S.Silent); (5, 3, S.Crash_at 1);
+      (7, 0, S.Silent); (8, 3, S.Crash_at 2) ]
+
+let test_noise_regression () =
+  (* Regression: a noisy fault injecting short-path messages in late
+     rounds made honest relays look omissive (their forced forwards fell
+     off the end of the phase), splitting the type-B value sets. Fixed by
+     the synchronous timing check in flooding rule (i). *)
+  let g = B.cycle 5 in
+  let inputs = [| Bit.Zero; Bit.One; Bit.Zero; Bit.Zero; Bit.One |] in
+  let o, reps =
+    A2.run_detailed ~g ~f:1 ~inputs ~faulty:(Nodeset.singleton 0)
+      ~strategy:(fun _ -> S.Noise 2) ~seed:3 ()
+  in
+  check "consensus" true (Spec.consensus_ok o);
+  Array.iter
+    (function
+      | Some r ->
+          check "only the noisy fault accused" true
+            (Nodeset.subset r.A2.detected (Nodeset.singleton 0))
+      | None -> ())
+    reps
+
+let test_detection_soundness () =
+  (* Whatever the strategy, no honest node may be accused. *)
+  let g = B.fig1a () in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun bad ->
+          let inputs = Array.make 5 Bit.Zero in
+          inputs.(bad) <- Bit.One;
+          let _, reps =
+            A2.run_detailed ~g ~f:1 ~inputs ~faulty:(Nodeset.singleton bad)
+              ~strategy:(fun _ -> kind) ()
+          in
+          Array.iter
+            (function
+              | Some r ->
+                  check "only faulty accused" true
+                    (Nodeset.subset r.A2.detected (Nodeset.singleton bad))
+              | None -> ())
+            reps)
+        [ 0; 2; 4 ])
+    S.kinds_lbc
+
+let test_detection_completeness_flip () =
+  (* A flip-forwarding fault on the cycle tampers messages on the paths
+     through it, so distant nodes become type A. *)
+  let g = B.fig1a () in
+  let inputs = [| Bit.Zero; Bit.Zero; Bit.One; Bit.Zero; Bit.Zero |] in
+  let _, reps =
+    A2.run_detailed ~g ~f:1 ~inputs ~faulty:(Nodeset.singleton 2)
+      ~strategy:(fun _ -> S.Flip_forwards) ()
+  in
+  let type_a_count =
+    Array.fold_left
+      (fun acc -> function Some r when r.A2.type_a -> acc + 1 | _ -> acc)
+      0 reps
+  in
+  check "someone identified the fault" true (type_a_count > 0);
+  Array.iter
+    (function
+      | Some r when r.A2.type_a ->
+          check "identified correctly" true
+            (Nodeset.equal r.A2.detected (Nodeset.singleton 2))
+      | _ -> ())
+    reps
+
+let test_fig1b_f2 () =
+  let g = B.fig1b () in
+  List.iter
+    (fun (i, j) ->
+      List.iter
+        (fun uni ->
+          let inputs = Array.make 8 uni in
+          inputs.(i) <- Bit.flip uni;
+          inputs.(j) <- Bit.flip uni;
+          let o =
+            A2.run ~g ~f:2 ~inputs ~faulty:(Nodeset.of_list [ i; j ])
+              ~strategy:(fun v -> if v = i then S.Flip_forwards else S.Lie)
+              ()
+          in
+          check (Printf.sprintf "pair (%d,%d)" i j) true (ok_decides uni o))
+        [ Bit.Zero; Bit.One ])
+    [ (0, 1); (2, 6); (3, 5) ]
+
+let test_rounds_linear () =
+  (* Theorem 5.6: 3 phases of n rounds each (+1 delivery round for the
+     reports, see Algorithm2's interface documentation). *)
+  List.iter
+    (fun n ->
+      let g = B.cycle n in
+      check_int
+        (Printf.sprintf "rounds n=%d" n)
+        ((3 * n) + 1)
+        (A2.rounds ~g);
+      let o =
+        A2.run ~g ~f:1 ~inputs:(Array.make n Bit.One) ~faulty:Nodeset.empty ()
+      in
+      check_int "measured" ((3 * n) + 1) o.Spec.rounds)
+    [ 5; 8; 11 ]
+
+let test_larger_cycle_with_fault () =
+  let g = B.cycle 9 in
+  let inputs = Array.make 9 Bit.One in
+  inputs.(4) <- Bit.Zero;
+  let o =
+    A2.run ~g ~f:1 ~inputs ~faulty:(Nodeset.singleton 4)
+      ~strategy:(fun _ -> S.Flip_forwards) ()
+  in
+  check "consensus on C9" true (ok_decides Bit.One o)
+
+let test_torus_f2 () =
+  (* 3x3 torus is 4-regular and 4-connected = 2f for f = 2. *)
+  let g = B.torus 3 3 in
+  let inputs = Array.make 9 Bit.Zero in
+  inputs.(0) <- Bit.One;
+  inputs.(4) <- Bit.One;
+  let o =
+    A2.run ~g ~f:2 ~inputs ~faulty:(Nodeset.of_list [ 0; 4 ])
+      ~strategy:(fun v -> if v = 0 then S.Lie else S.Flip_forwards) ()
+  in
+  check "consensus on torus" true (ok_decides Bit.Zero o)
+
+let prop_random_f1_cycleplus =
+  QCheck.Test.make ~name:"random 2-connected graphs, f=1" ~count:10
+    QCheck.(triple (int_range 5 8) (int_range 0 999) (int_range 0 5))
+    (fun (n, seed, kind_idx) ->
+      (* guard out-of-range shrink candidates so shrinking stays valid *)
+      if n < 5 || n > 8 || seed < 0 then true
+      else begin
+      let g = B.random_augmented_circulant ~seed ~n ~k:2 ~extra:0.15 in
+      let st = Random.State.make [| seed; 3 |] in
+      let inputs = Array.init n (fun _ -> Bit.of_bool (Random.State.bool st)) in
+      let bad = Random.State.int st n in
+      let kind = List.nth S.kinds_lbc (kind_idx mod List.length S.kinds_lbc) in
+      let o =
+        A2.run ~g ~f:1 ~inputs ~faulty:(Nodeset.singleton bad)
+          ~strategy:(fun _ -> kind) ~seed ()
+      in
+      Spec.consensus_ok o
+      end)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "algorithm2"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "no faults" `Quick test_no_faults;
+          Alcotest.test_case "rounds linear" `Quick test_rounds_linear;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "cycle f=1 exhaustive" `Slow
+            test_cycle_f1_exhaustive;
+          Alcotest.test_case "fig1b f=2" `Slow test_fig1b_f2;
+          Alcotest.test_case "C9 with fault" `Quick test_larger_cycle_with_fault;
+          Alcotest.test_case "torus f=2" `Slow test_torus_f2;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "soundness" `Slow test_detection_soundness;
+          Alcotest.test_case "completeness (flip)" `Quick
+            test_detection_completeness_flip;
+          Alcotest.test_case "omission regression" `Quick
+            test_omission_regression;
+          Alcotest.test_case "noise regression" `Quick test_noise_regression;
+        ] );
+      ("properties", qt [ prop_random_f1_cycleplus ]);
+    ]

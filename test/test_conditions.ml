@@ -1,0 +1,227 @@
+(* Tests for the feasibility conditions of all three communication models,
+   including the paper's headline comparisons. *)
+
+module B = Lbc_graph.Builders
+module Cond = Lbc_graph.Conditions
+module G = Lbc_graph.Graph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_required_connectivity () =
+  check_int "lbc f=0" 1 (Cond.lbc_required_connectivity 0);
+  check_int "lbc f=1" 2 (Cond.lbc_required_connectivity 1);
+  check_int "lbc f=2" 4 (Cond.lbc_required_connectivity 2);
+  check_int "lbc f=3" 5 (Cond.lbc_required_connectivity 3);
+  check_int "lbc f=4" 7 (Cond.lbc_required_connectivity 4);
+  check_int "p2p f=2" 5 (Cond.p2p_required_connectivity 2)
+
+let test_hybrid_endpoints () =
+  (* t = 0 reduces to the local broadcast bound; t = f to 2f + 1. *)
+  for f = 0 to 6 do
+    check_int "t=0" (Cond.lbc_required_connectivity f)
+      (Cond.hybrid_required_connectivity ~f ~t:0);
+    check_int "t=f" (Cond.p2p_required_connectivity f)
+      (Cond.hybrid_required_connectivity ~f ~t:f)
+  done
+
+let test_hybrid_monotone () =
+  (* For fixed f the requirement never decreases with t (more equivocation
+     power never helps). *)
+  for f = 1 to 6 do
+    for t = 0 to f - 1 do
+      check "monotone" true
+        (Cond.hybrid_required_connectivity ~f ~t
+        <= Cond.hybrid_required_connectivity ~f ~t:(t + 1))
+    done
+  done
+
+let test_hybrid_bad_args () =
+  check "t > f rejected" true
+    (match Cond.hybrid_required_connectivity ~f:1 ~t:2 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_complete_graph_thresholds () =
+  (* On complete graphs: LBC needs n >= 2f + 1 (degree condition; the
+     connectivity bound is implied); p2p needs n >= 3f + 1. This matches
+     Rabin–Ben-Or's global broadcast bound, as §2 observes. *)
+  let g = B.complete 5 in
+  check "K5 lbc f=2" true (Cond.lbc_feasible g ~f:2);
+  check "K5 lbc f=3 fails" false (Cond.lbc_feasible g ~f:3);
+  check "K5 p2p f=1" true (Cond.p2p_feasible g ~f:1);
+  check "K5 p2p f=2 fails" false (Cond.p2p_feasible g ~f:2);
+  let g7 = B.complete 7 in
+  check "K7 lbc f=3" true (Cond.lbc_feasible g7 ~f:3);
+  check "K7 p2p f=2" true (Cond.p2p_feasible g7 ~f:2)
+
+let test_cycle_headline () =
+  (* §1's headline: the 5-cycle tolerates f = 1 under local broadcast but
+     f = 0 under point-to-point. *)
+  let g = B.fig1a () in
+  check_int "max f lbc" 1 (Cond.max_f_lbc g);
+  check_int "max f p2p" 0 (Cond.max_f_p2p g)
+
+let test_max_f_families () =
+  check_int "K7 lbc" 3 (Cond.max_f_lbc (B.complete 7));
+  check_int "K7 p2p" 2 (Cond.max_f_p2p (B.complete 7));
+  check_int "fig1b lbc" 2 (Cond.max_f_lbc (B.fig1b ()));
+  check_int "petersen lbc" 1 (Cond.max_f_lbc (B.petersen ()));
+  check_int "torus lbc" 2 (Cond.max_f_lbc (B.torus 4 4));
+  check_int "path lbc" 0 (Cond.max_f_lbc (B.path_graph 4))
+
+let test_small_set_neighbors () =
+  let g = B.complete 7 in
+  (* In K7 every single node has 6 neighbours, every pair 5. *)
+  check "t=1 bound 6" true (Cond.small_set_neighbors_at_least g ~t:1 ~bound:6);
+  check "t=2 bound 6 fails" false
+    (Cond.small_set_neighbors_at_least g ~t:2 ~bound:6);
+  check "t=2 bound 5" true (Cond.small_set_neighbors_at_least g ~t:2 ~bound:5)
+
+let test_hybrid_feasible_endpoints () =
+  let g = B.complete 7 in
+  (* t=0 equals LBC; t=f equals p2p. *)
+  check "hybrid(2,0) = lbc f=2" true (Cond.hybrid_feasible g ~f:2 ~t:0);
+  check "hybrid(3,0) = lbc f=3" true (Cond.hybrid_feasible g ~f:3 ~t:0);
+  check "hybrid(2,2) = p2p f=2" true (Cond.hybrid_feasible g ~f:2 ~t:2);
+  check "hybrid(3,3) fails like p2p f=3" false (Cond.hybrid_feasible g ~f:3 ~t:3);
+  (* Intermediate: K7, f=3, t=1: connectivity need = 3+2+1 = 6 (ok),
+     neighbourhood: each single node needs 2f+1 = 7 neighbours but has 6. *)
+  check "hybrid(3,1) neighbourhood fails" false
+    (Cond.hybrid_feasible g ~f:3 ~t:1)
+
+let test_hybrid_intermediate () =
+  let g = B.complete 9 in
+  (* K9: f=3, t=1: connectivity 8 >= 6 ok; sets of size 1 have 8 >= 7 ok. *)
+  check "K9 hybrid(3,1)" true (Cond.hybrid_feasible g ~f:3 ~t:1);
+  (* K9 p2p max f = 2, so hybrid t=f=3 fails. *)
+  check "K9 hybrid(3,3) fails" false (Cond.hybrid_feasible g ~f:3 ~t:3)
+
+let test_max_f_hybrid () =
+  let g = B.complete 9 in
+  check_int "t=0 gives lbc" (Cond.max_f_lbc g) (Cond.max_f_hybrid g ~t:0);
+  (* K9, t=2: f=3 still works (connectivity need 6 <= 8; pairs have 7 >= 7
+     neighbours); f=4 fails the neighbourhood bound (need 9, have 8). *)
+  check_int "t=2 on K9" 3 (Cond.max_f_hybrid g ~t:2);
+  (* Star graph: even t=1 infeasible at f=t (leaf has 1 neighbour). *)
+  check_int "star t=1" (-1) (Cond.max_f_hybrid (B.star 5) ~t:1)
+
+let test_certificates () =
+  (* Feasible graphs yield Feasible. *)
+  check "fig1a feasible" true (Cond.lbc_explain (B.fig1a ()) ~f:1 = Cond.Feasible);
+  (* Degree failures name a genuinely deficient node. *)
+  (match Cond.lbc_explain (B.deficient_degree 2) ~f:2 with
+  | Cond.Low_degree u ->
+      check "degree witness" true (G.degree (B.deficient_degree 2) u < 4)
+  | _ -> Alcotest.fail "expected Low_degree");
+  (* Connectivity failures return a real small cut. *)
+  (match Cond.lbc_explain (B.deficient_connectivity 2) ~f:2 with
+  | Cond.Small_cut c ->
+      let g = B.deficient_connectivity 2 in
+      check "cut size" true (Lbc_graph.Nodeset.cardinal c <= 3);
+      let g' = G.without_nodes g c in
+      let comps =
+        List.filter
+          (fun comp ->
+            not
+              (Lbc_graph.Nodeset.is_empty (Lbc_graph.Nodeset.diff comp c)))
+          (Lbc_graph.Traversal.components g')
+      in
+      check "cut disconnects" true (List.length comps > 1)
+  | _ -> Alcotest.fail "expected Small_cut");
+  (* Point-to-point: the 5-cycle at f=1 is too small. *)
+  (match Cond.p2p_explain (B.fig1a ()) ~f:1 with
+  | Cond.Small_cut _ -> ()
+  | v ->
+      Alcotest.failf "expected Small_cut, got %a" Cond.pp_verdict v);
+  check "K4 p2p f=1 ok" true (Cond.p2p_explain (B.complete 4) ~f:1 = Cond.Feasible);
+  check "K3 p2p f=1 too few" true
+    (Cond.p2p_explain (B.complete 3) ~f:1 = Cond.Too_few_nodes);
+  (* Hybrid: starved set witness. *)
+  (match Cond.hybrid_explain (B.complete 7) ~f:3 ~t:1 with
+  | Cond.Starved_set s ->
+      check "starved witness" true
+        (Lbc_graph.Nodeset.cardinal
+           (G.neighbors_of_set (B.complete 7) s)
+        < 7)
+  | v -> Alcotest.failf "expected Starved_set, got %a" Cond.pp_verdict v);
+  (* Hybrid on a too-small complete graph reports size, not a cut. *)
+  check "K4 hybrid f=2 t=1" true
+    (Cond.hybrid_explain (B.complete 4) ~f:2 ~t:1 = Cond.Too_few_nodes)
+
+let prop_explain_consistent =
+  QCheck.Test.make ~name:"explain agrees with feasible" ~count:40
+    QCheck.(pair (int_range 4 10) (int_range 0 1000))
+    (fun (n, seed) ->
+      let g = B.random_gnp ~seed n 0.5 in
+      List.for_all
+        (fun f ->
+          Cond.lbc_feasible g ~f = (Cond.lbc_explain g ~f = Cond.Feasible)
+          && Cond.p2p_feasible g ~f = (Cond.p2p_explain g ~f = Cond.Feasible)
+          && Cond.hybrid_feasible g ~f ~t:1
+             = (Cond.hybrid_explain g ~f ~t:1 = Cond.Feasible))
+        [ 1; 2 ])
+
+let prop_lbc_weaker_than_p2p =
+  (* Headline theorem consequence: any graph feasible for f faults under
+     point-to-point is feasible under local broadcast. *)
+  QCheck.Test.make ~name:"p2p feasible => lbc feasible" ~count:40
+    QCheck.(pair (int_range 4 12) (int_range 0 1000))
+    (fun (n, seed) ->
+      let g = B.random_gnp ~seed n 0.6 in
+      List.for_all
+        (fun f ->
+          (not (Cond.p2p_feasible g ~f)) || Cond.lbc_feasible g ~f)
+        [ 0; 1; 2; 3 ])
+
+let prop_hybrid_bridges =
+  (* hybrid(f, 0) = LBC and hybrid(f, f) = p2p, on random graphs. *)
+  QCheck.Test.make ~name:"hybrid endpoints equal pure models" ~count:30
+    QCheck.(pair (int_range 4 10) (int_range 0 1000))
+    (fun (n, seed) ->
+      let g = B.random_gnp ~seed n 0.6 in
+      List.for_all
+        (fun f ->
+          Cond.hybrid_feasible g ~f ~t:0 = Cond.lbc_feasible g ~f
+          &&
+          (* t = f: conditions (i)+(iii); (iii) with |S| = 1..f and 2f+1
+             neighbours implies n >= 3f+1 on feasible graphs. *)
+          if Cond.hybrid_feasible g ~f ~t:f then Cond.p2p_feasible g ~f
+          else true)
+        [ 1; 2 ])
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "conditions"
+    [
+      ( "thresholds",
+        [
+          Alcotest.test_case "required connectivity" `Quick
+            test_required_connectivity;
+          Alcotest.test_case "hybrid endpoints" `Quick test_hybrid_endpoints;
+          Alcotest.test_case "hybrid monotone" `Quick test_hybrid_monotone;
+          Alcotest.test_case "hybrid bad args" `Quick test_hybrid_bad_args;
+        ] );
+      ( "feasibility",
+        [
+          Alcotest.test_case "complete graphs" `Quick
+            test_complete_graph_thresholds;
+          Alcotest.test_case "cycle headline" `Quick test_cycle_headline;
+          Alcotest.test_case "max f families" `Quick test_max_f_families;
+          Alcotest.test_case "small set neighbours" `Quick
+            test_small_set_neighbors;
+          Alcotest.test_case "hybrid endpoints feasible" `Quick
+            test_hybrid_feasible_endpoints;
+          Alcotest.test_case "hybrid intermediate" `Quick
+            test_hybrid_intermediate;
+          Alcotest.test_case "max f hybrid" `Quick test_max_f_hybrid;
+          Alcotest.test_case "certificates" `Quick test_certificates;
+        ] );
+      ( "properties",
+        qt
+          [
+            prop_lbc_weaker_than_p2p;
+            prop_hybrid_bridges;
+            prop_explain_consistent;
+          ] );
+    ]

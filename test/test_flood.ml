@@ -1,0 +1,384 @@
+(* Tests for path-annotated flooding: the four rules, the missing-message
+   default, end-to-end floods, disjoint-path counting (packing) and
+   reliable receive (Definition C.1). *)
+
+module Flood = Lbc_flood.Flood
+module Packing = Lbc_flood.Packing
+module Engine = Lbc_sim.Engine
+module B = Lbc_graph.Builders
+module G = Lbc_graph.Graph
+module Nodeset = Lbc_graph.Nodeset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let wire value path = { Flood.value; path }
+
+(* ------------------------------------------------------------------ *)
+(* handle: rules (i)-(iv)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_rule_i_bad_path () =
+  let g = B.cycle 5 in
+  let st = Flood.create g ~me:0 () in
+  (* 3 is not adjacent to 1, so path [3] relayed by 1 is invalid. *)
+  check "invalid path dropped" true
+    (Flood.handle st ~round:2 ~from:1 (wire 7 [ 3 ]) = None);
+  (* Sender must be a neighbour: 2 is not adjacent to 0 in the 5-cycle. *)
+  check "non-neighbour sender dropped" true
+    (Flood.handle st ~round:1 ~from:2 (wire 7 []) = None);
+  (* Path containing duplicates is not simple. *)
+  check "non-simple dropped" true
+    (Flood.handle st ~round:3 ~from:1 (wire 7 [ 1; 2 ]) = None)
+
+let test_rule_i_timing () =
+  (* Synchronous timing: a k-hop annotation is only acceptable in round
+     k+1 — late or early (fabricated) messages are dropped. *)
+  let g = B.cycle 5 in
+  let st = Flood.create g ~me:0 () in
+  check "late initiation dropped" true
+    (Flood.handle st ~round:3 ~from:1 (wire 7 []) = None);
+  check "early long path dropped" true
+    (Flood.handle st ~round:1 ~from:1 (wire 7 [ 2 ]) = None);
+  check "on-time accepted" true
+    (Flood.handle st ~round:2 ~from:1 (wire 7 [ 2 ]) <> None)
+
+let test_rule_ii_dedup () =
+  let g = B.cycle 5 in
+  let st = Flood.create g ~me:0 () in
+  (match Flood.handle st ~round:1 ~from:1 (wire 7 []) with
+  | Some fwd ->
+      check "forwards with sender appended" true
+        (fwd = wire 7 [ 1 ])
+  | None -> Alcotest.fail "first message accepted");
+  (* Same (sender, path) key again - even with a different value. *)
+  check "duplicate key dropped" true
+    (Flood.handle st ~round:1 ~from:1 (wire 8 []) = None);
+  (* Different path from the same sender is fine. *)
+  check "different key ok" true
+    (Flood.handle st ~round:2 ~from:1 (wire 9 [ 2 ]) <> None)
+
+let test_rule_iii_self_in_path () =
+  let g = B.cycle 5 in
+  let st = Flood.create g ~me:0 () in
+  check "own id in path dropped" true
+    (Flood.handle st ~round:5 ~from:4 (wire 7 [ 0; 1; 2; 3 ]) = None)
+
+let test_rule_iv_record () =
+  let g = B.cycle 5 in
+  let st = Flood.create g ~me:0 () in
+  let (_ : int Flood.wire option) =
+    Flood.handle st ~round:2 ~from:1 (wire 7 [ 2 ])
+  in
+  check "recorded along full path" true
+    (Flood.value_along st ~path:[ 2; 1; 0 ] = Some 7);
+  check "origin values" true (Flood.origin_values st ~origin:2 = [ 7 ])
+
+let test_own_initiation_recorded () =
+  let g = B.cycle 5 in
+  let st = Flood.create g ~me:3 ~initiate:42 () in
+  check "own trivial path" true (Flood.value_along st ~path:[ 3 ] = Some 42);
+  check "own value" true (Flood.own_value st = Some 42)
+
+let test_synthesize_defaults () =
+  let g = B.cycle 5 in
+  let st = Flood.create g ~me:0 ~default:99 () in
+  (* Neighbour 1 initiated; neighbour 4 stayed silent. *)
+  let (_ : int Flood.wire option) = Flood.handle st ~round:1 ~from:1 (wire 7 []) in
+  let fwds = Flood.synthesize_defaults st in
+  check_int "one default" 1 (List.length fwds);
+  check "default forwarded for 4" true (List.hd fwds = wire 99 [ 4 ]);
+  check "default recorded" true (Flood.value_along st ~path:[ 4; 0 ] = Some 99);
+  (* Idempotent. *)
+  check "second call empty" true (Flood.synthesize_defaults st = []);
+  (* A late initiation by 4 is now ignored (key burnt). *)
+  check "late initiation dropped" true (Flood.handle st ~round:1 ~from:4 (wire 7 []) = None)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end floods on the engine                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_flood g inputs =
+  let n = G.size g in
+  let topo = Engine.topology_of_graph g in
+  let roles =
+    Array.init n (fun v ->
+        Engine.Honest
+          (Flood.proc (Flood.create g ~me:v ~initiate:inputs.(v) ~default:(-1) ())))
+  in
+  let r =
+    Engine.run topo ~model:Engine.Local_broadcast
+      ~rounds:(Flood.rounds_needed g) ~roles
+  in
+  Array.map Option.get r.Engine.outputs
+
+let test_flood_reaches_everyone () =
+  let g = B.cycle 6 in
+  let inputs = Array.init 6 (fun v -> 100 + v) in
+  let stores = run_flood g inputs in
+  Array.iteri
+    (fun v st ->
+      List.iter
+        (fun u ->
+          check
+            (Printf.sprintf "%d knows %d" v u)
+            true
+            (Flood.origin_values st ~origin:u = [ 100 + u ]))
+        (G.nodes g))
+    stores
+
+let test_flood_all_simple_paths () =
+  (* Every simple uv-path carries a record. *)
+  let g = B.cycle 5 in
+  let inputs = Array.init 5 Fun.id in
+  let stores = run_flood g inputs in
+  let st4 = stores.(4) in
+  let paths = Lbc_graph.Traversal.all_simple_paths g ~src:1 ~dst:4 in
+  List.iter
+    (fun p ->
+      check
+        (Format.asprintf "path delivered")
+        true
+        (Flood.value_along st4 ~path:p = Some 1))
+    paths;
+  check_int "exactly the simple paths" (List.length paths)
+    (List.length
+       (List.filter (fun (o, _, _) -> o = 1) (Flood.records st4)))
+
+let test_flood_silent_node_defaults () =
+  let g = B.cycle 5 in
+  let topo = Engine.topology_of_graph g in
+  let silent : int Flood.wire Engine.fstep = fun ~round:_ ~inbox:_ -> [] in
+  let roles =
+    Array.init 5 (fun v ->
+        if v = 2 then Engine.Faulty silent
+        else
+          Engine.Honest
+            (Flood.proc (Flood.create g ~me:v ~initiate:v ~default:(-1) ())))
+  in
+  let r =
+    Engine.run topo ~model:Engine.Local_broadcast
+      ~rounds:(Flood.rounds_needed g) ~roles
+  in
+  (* Every honest node attributes the default to node 2. *)
+  List.iter
+    (fun v ->
+      match r.Engine.outputs.(v) with
+      | Some st ->
+          check
+            (Printf.sprintf "node %d sees default" v)
+            true
+            (Flood.origin_values st ~origin:2 = [ -1 ])
+      | None -> ())
+    [ 0; 1; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Packing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_packing_basic () =
+  let m = Packing.mask_of_nodes in
+  check_int "disjoint pair" 2
+    (Packing.count [ m [ 1 ]; m [ 2 ] ] ~limit:5);
+  check_int "conflicting pair" 1
+    (Packing.count [ m [ 1; 2 ]; m [ 2; 3 ] ] ~limit:5);
+  check_int "empty mask disjoint from all" 2
+    (Packing.count [ m []; m [ 1 ]; m [ 1; 2 ] ] ~limit:5);
+  check_int "empty mask plus disjoint pair" 3
+    (Packing.count [ m []; m [ 1 ]; m [ 2; 3 ] ] ~limit:5);
+  check_int "limit caps" 2 (Packing.count [ m [ 1 ]; m [ 2 ]; m [ 3 ] ] ~limit:2);
+  check_int "zero limit" 0 (Packing.count [ m [ 1 ] ] ~limit:0);
+  check_int "no masks" 0 (Packing.count [] ~limit:3)
+
+let test_packing_domination () =
+  let m = Packing.mask_of_nodes in
+  (* {1} dominates {1,2} and {1,3}: answer is picking {1},{4}. *)
+  check_int "dominated removed" 2
+    (Packing.count [ m [ 1; 2 ]; m [ 1 ]; m [ 1; 3 ]; m [ 4 ] ] ~limit:5)
+
+let test_packing_needs_search () =
+  let m = Packing.mask_of_nodes in
+  (* Greedy smallest-first could pick {1,2} then be stuck; optimal is
+     {1,3} + {2,4}. *)
+  check_int "exact search" 2
+    (Packing.count [ m [ 1; 2 ]; m [ 1; 3 ]; m [ 2; 4 ] ] ~limit:5)
+
+let test_packing_mask_range () =
+  check "large id rejected" true
+    (match Packing.mask_of_nodes [ 70 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Disjoint counting and reliable receive                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_disjoint_count_honest () =
+  let g = B.cycle 5 in
+  let inputs = Array.init 5 (fun v -> v) in
+  let stores = run_flood g inputs in
+  (* In a cycle there are exactly two disjoint paths 1..3. *)
+  check_int "two disjoint" 2
+    (Flood.disjoint_count stores.(3) ~origin:1 ~value:1 ());
+  check_int "wrong value zero" 0
+    (Flood.disjoint_count stores.(3) ~origin:1 ~value:9 ());
+  (* Excluding node 2 internally kills the short path. *)
+  check_int "excluded" 1
+    (Flood.disjoint_count stores.(3) ~origin:1 ~value:1
+       ~excluded:(Nodeset.singleton 2) ())
+
+let test_disjoint_count_from_set () =
+  let g = B.complete 5 in
+  let inputs = Array.make 5 7 in
+  let stores = run_flood g inputs in
+  let sources = Nodeset.of_list [ 0; 1; 2 ] in
+  (* K5: the three direct edges are disjoint Av v-paths. *)
+  check_int "three" 3
+    (Flood.disjoint_count_from_set stores.(4) ~sources ~value:7 ());
+  check_int "limit" 2
+    (Flood.disjoint_count_from_set stores.(4) ~sources ~value:7 ~limit:2 ())
+
+let test_fabricated_paths_not_counted () =
+  (* Regression for the union-graph unsoundness: a single faulty node
+     fabricates many disjoint-looking annotations; since every fabricated
+     record physically passes through it, the packing count stays 1. *)
+  let g = B.complete 5 in
+  let topo = Engine.topology_of_graph g in
+  let liar : int Flood.wire Engine.fstep =
+   fun ~round ~inbox:_ ->
+    if round = 1 then
+      (* claim that 1 initiated 99 and relay over invented paths *)
+      [
+        Engine.Broadcast (wire 99 [ 1 ]);
+        Engine.Broadcast (wire 99 [ 1; 2 ]);
+        Engine.Broadcast (wire 99 [ 1; 3 ]);
+        Engine.Broadcast (wire 99 [ 1; 2; 3 ]);
+      ]
+    else []
+  in
+  let roles =
+    Array.init 5 (fun v ->
+        if v = 0 then Engine.Faulty liar
+        else
+          Engine.Honest
+            (Flood.proc (Flood.create g ~me:v ~initiate:v ~default:(-1) ())))
+  in
+  let r =
+    Engine.run topo ~model:Engine.Local_broadcast
+      ~rounds:(Flood.rounds_needed g) ~roles
+  in
+  let st4 = Option.get r.Engine.outputs.(4) in
+  (* All value-99 records from "origin 1" pass through node 0. *)
+  check "fake value present" true
+    (List.mem 99 (Flood.origin_values st4 ~origin:1));
+  check_int "but only one disjoint path" 1
+    (Flood.disjoint_count st4 ~origin:1 ~value:99 ());
+  (* The genuine value has full connectivity-many disjoint paths. *)
+  check_int "genuine value rich" 3
+    (Flood.disjoint_count st4 ~origin:1 ~value:1 ~limit:3 ())
+
+let test_predicted_transmissions () =
+  (* A measured all-honest flood matches the analytic count exactly. *)
+  List.iter
+    (fun g ->
+      let n = G.size g in
+      let topo = Engine.topology_of_graph g in
+      let roles =
+        Array.init n (fun v ->
+            Engine.Honest
+              (Flood.proc (Flood.create g ~me:v ~initiate:v ~default:(-1) ())))
+      in
+      let r =
+        Engine.run topo ~model:Engine.Local_broadcast
+          ~rounds:(Flood.rounds_needed g) ~roles
+      in
+      check_int
+        (Printf.sprintf "n=%d" n)
+        (Flood.predicted_transmissions g)
+        r.Engine.stats.Engine.transmissions)
+    [ B.cycle 5; B.cycle 8; B.complete 5; B.petersen (); B.grid 3 3 ]
+
+let test_reliable_values () =
+  let g = B.cycle 5 in
+  let inputs = Array.init 5 (fun v -> v * 10) in
+  let stores = run_flood g inputs in
+  (* self *)
+  check "self" true (Flood.reliable_values ~f:1 stores.(0) ~origin:0 = [ 0 ]);
+  (* neighbour: direct *)
+  check "neighbour" true
+    (Flood.reliable_values ~f:1 stores.(0) ~origin:1 = [ 10 ]);
+  (* distance 2 in a cycle: both disjoint paths carry it, f=1 needs 2 *)
+  check "far ok" true (Flood.reliable_values ~f:1 stores.(0) ~origin:2 = [ 20 ]);
+  (* f=2 would need 3 disjoint paths: unreliable *)
+  check "f=2 too weak" true
+    (Flood.reliable_values ~f:2 stores.(0) ~origin:2 = [])
+
+let test_reliable_values_tampered () =
+  (* Flip-forwarding faulty node 2 on the cycle: node 0 still reliably
+     receives nothing wrong from origin 3, and cannot reliably receive
+     anything from 3 at all (only one clean path remains). *)
+  let g = B.cycle 5 in
+  let topo = Engine.topology_of_graph g in
+  let flipper =
+    Lbc_adversary.Strategy.fstep Lbc_adversary.Strategy.Flip_forwards ~g ~me:2
+      ~input:20 ~default:(-1) ~flip:(fun v -> -v) ~seed:0
+  in
+  let roles =
+    Array.init 5 (fun v ->
+        if v = 2 then Engine.Faulty flipper
+        else
+          Engine.Honest
+            (Flood.proc (Flood.create g ~me:v ~initiate:(v * 10) ~default:(-1) ())))
+  in
+  let r =
+    Engine.run topo ~model:Engine.Local_broadcast
+      ~rounds:(Flood.rounds_needed g) ~roles
+  in
+  let st0 = Option.get r.Engine.outputs.(0) in
+  check "no reliable value from 3" true
+    (Flood.reliable_values ~f:1 st0 ~origin:3 = []);
+  (* the neighbour 4 is still direct *)
+  check "neighbour fine" true
+    (Flood.reliable_values ~f:1 st0 ~origin:4 = [ 40 ])
+
+let () =
+  Alcotest.run "flood"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "rule i" `Quick test_rule_i_bad_path;
+          Alcotest.test_case "rule i timing" `Quick test_rule_i_timing;
+          Alcotest.test_case "rule ii" `Quick test_rule_ii_dedup;
+          Alcotest.test_case "rule iii" `Quick test_rule_iii_self_in_path;
+          Alcotest.test_case "rule iv" `Quick test_rule_iv_record;
+          Alcotest.test_case "own initiation" `Quick test_own_initiation_recorded;
+          Alcotest.test_case "defaults" `Quick test_synthesize_defaults;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "reaches everyone" `Quick test_flood_reaches_everyone;
+          Alcotest.test_case "all simple paths" `Quick test_flood_all_simple_paths;
+          Alcotest.test_case "silent defaults" `Quick
+            test_flood_silent_node_defaults;
+        ] );
+      ( "packing",
+        [
+          Alcotest.test_case "basic" `Quick test_packing_basic;
+          Alcotest.test_case "domination" `Quick test_packing_domination;
+          Alcotest.test_case "search" `Quick test_packing_needs_search;
+          Alcotest.test_case "mask range" `Quick test_packing_mask_range;
+        ] );
+      ( "acceptance",
+        [
+          Alcotest.test_case "disjoint honest" `Quick test_disjoint_count_honest;
+          Alcotest.test_case "disjoint from set" `Quick
+            test_disjoint_count_from_set;
+          Alcotest.test_case "fabrication regression" `Quick
+            test_fabricated_paths_not_counted;
+          Alcotest.test_case "predicted transmissions" `Quick
+            test_predicted_transmissions;
+          Alcotest.test_case "reliable values" `Quick test_reliable_values;
+          Alcotest.test_case "reliable tampered" `Quick
+            test_reliable_values_tampered;
+        ] );
+    ]

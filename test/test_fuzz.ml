@@ -1,0 +1,64 @@
+(* Tests for the randomised falsification harness: clean campaigns on
+   condition-satisfying graphs, determinism, and the report shape. *)
+
+module Fuzz = Lbc_consensus.Fuzz
+module B = Lbc_graph.Builders
+module Nodeset = Lbc_graph.Nodeset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let clean name r =
+  check (name ^ ": no violations") true (r.Fuzz.violations = [])
+
+let test_a2_cycle_clean () =
+  clean "a2 cycle"
+    (Fuzz.run ~g:(B.fig1a ()) ~f:1 ~target:Fuzz.A2 ~runs:120 ())
+
+let test_a2_c7_clean () =
+  clean "a2 c7" (Fuzz.run ~g:(B.cycle 7) ~f:1 ~target:Fuzz.A2 ~runs:60 ())
+
+let test_a1_cycle_clean () =
+  clean "a1 cycle"
+    (Fuzz.run ~g:(B.fig1a ()) ~f:1 ~target:Fuzz.A1 ~runs:40 ())
+
+let test_a3_k4_clean () =
+  clean "a3 k4"
+    (Fuzz.run ~g:(B.complete 4) ~f:1 ~target:(Fuzz.A3 1) ~runs:30 ())
+
+let test_relay_wheel_clean () =
+  clean "relay wheel"
+    (Fuzz.run ~g:(B.wheel 7) ~f:1 ~target:Fuzz.Relay ~runs:30 ())
+
+let test_a2_fig1b_f2_clean () =
+  clean "a2 fig1b f=2"
+    (Fuzz.run ~g:(B.fig1b ()) ~f:2 ~target:Fuzz.A2 ~runs:60 ())
+
+let test_determinism () =
+  let r1 = Fuzz.run ~g:(B.fig1a ()) ~f:1 ~target:Fuzz.A2 ~runs:25 ~seed:9 () in
+  let r2 = Fuzz.run ~g:(B.fig1a ()) ~f:1 ~target:Fuzz.A2 ~runs:25 ~seed:9 () in
+  check "same campaigns agree" true
+    (List.length r1.Fuzz.violations = List.length r2.Fuzz.violations);
+  check_int "runs recorded" 25 r1.Fuzz.runs
+
+let test_max_faults_zero () =
+  (* With max_faults = 0 every case is fault-free: must be clean on any
+     connected graph. *)
+  clean "fault-free"
+    (Fuzz.run ~g:(B.petersen ()) ~f:1 ~target:Fuzz.A2 ~runs:10 ~max_faults:0 ())
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "campaigns",
+        [
+          Alcotest.test_case "a2 cycle" `Quick test_a2_cycle_clean;
+          Alcotest.test_case "a2 c7" `Quick test_a2_c7_clean;
+          Alcotest.test_case "a1 cycle" `Slow test_a1_cycle_clean;
+          Alcotest.test_case "a3 k4" `Slow test_a3_k4_clean;
+          Alcotest.test_case "relay wheel" `Quick test_relay_wheel_clean;
+          Alcotest.test_case "a2 fig1b f=2" `Slow test_a2_fig1b_f2_clean;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "fault-free" `Quick test_max_faults_zero;
+        ] );
+    ]

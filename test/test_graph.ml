@@ -1,0 +1,356 @@
+(* Unit and property tests for the graph substrate: Graph, Traversal,
+   Combi. *)
+
+module G = Lbc_graph.Graph
+module T = Lbc_graph.Traversal
+module C = Lbc_graph.Combi
+module Nodeset = Lbc_graph.Nodeset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Graph basics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_empty () =
+  let g = G.create 5 in
+  check_int "size" 5 (G.size g);
+  check_int "edges" 0 (G.num_edges g);
+  check_int "min degree" 0 (G.min_degree g)
+
+let test_add_edge () =
+  let g = G.create 4 in
+  G.add_edge g 0 1;
+  G.add_edge g 1 2;
+  check "0-1" true (G.mem_edge g 0 1);
+  check "1-0 symmetric" true (G.mem_edge g 1 0);
+  check "0-2 absent" false (G.mem_edge g 0 2);
+  check_int "num edges" 2 (G.num_edges g)
+
+let test_add_edge_idempotent () =
+  let g = G.create 3 in
+  G.add_edge g 0 1;
+  G.add_edge g 0 1;
+  G.add_edge g 1 0;
+  check_int "still one edge" 1 (G.num_edges g)
+
+let test_self_loop_rejected () =
+  let g = G.create 3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop")
+    (fun () -> G.add_edge g 1 1)
+
+let test_invalid_node () =
+  let g = G.create 3 in
+  (match G.add_edge g 0 7 with
+  | () -> Alcotest.fail "expected Invalid_node"
+  | exception G.Invalid_node 7 -> ()
+  | exception _ -> Alcotest.fail "wrong exception");
+  match G.neighbors g (-1) with
+  | _ -> Alcotest.fail "expected Invalid_node"
+  | exception G.Invalid_node (-1) -> ()
+  | exception _ -> Alcotest.fail "wrong exception"
+
+let test_remove_edge () =
+  let g = G.of_edges 3 [ (0, 1); (1, 2) ] in
+  G.remove_edge g 0 1;
+  check "removed" false (G.mem_edge g 0 1);
+  check "other kept" true (G.mem_edge g 1 2);
+  G.remove_edge g 0 1 (* removing absent edge is a no-op *)
+
+let test_degrees () =
+  let g = G.of_edges 4 [ (0, 1); (0, 2); (0, 3); (1, 2) ] in
+  check_int "deg 0" 3 (G.degree g 0);
+  check_int "deg 3" 1 (G.degree g 3);
+  check_int "min" 1 (G.min_degree g);
+  check_int "max" 3 (G.max_degree g)
+
+let test_edges_listing () =
+  let edges = [ (0, 1); (1, 2); (0, 3) ] in
+  let g = G.of_edges 4 edges in
+  let got = G.edges g in
+  check_int "count" 3 (List.length got);
+  List.iter
+    (fun (u, v) ->
+      check "u < v" true (u < v);
+      check "is edge" true (G.mem_edge g u v))
+    got
+
+let test_without_nodes () =
+  let g = G.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let g' = G.without_nodes g (Nodeset.singleton 0) in
+  check "0-1 gone" false (G.mem_edge g' 0 1);
+  check "3-0 gone" false (G.mem_edge g' 3 0);
+  check "1-2 kept" true (G.mem_edge g' 1 2);
+  (* original untouched *)
+  check "orig intact" true (G.mem_edge g 0 1)
+
+let test_neighbors_of_set () =
+  let g = G.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  let s = Nodeset.of_list [ 1; 2 ] in
+  let nbrs = G.neighbors_of_set g s in
+  check "equals {0,3}" true (Nodeset.equal nbrs (Nodeset.of_list [ 0; 3 ]))
+
+let test_equal () =
+  let g1 = G.of_edges 3 [ (0, 1) ] in
+  let g2 = G.of_edges 3 [ (1, 0) ] in
+  let g3 = G.of_edges 3 [ (0, 2) ] in
+  check "same" true (G.equal g1 g2);
+  check "different" false (G.equal g1 g3)
+
+let test_copy_independent () =
+  let g = G.of_edges 3 [ (0, 1) ] in
+  let g' = G.copy g in
+  G.add_edge g' 1 2;
+  check "copy has new edge" true (G.mem_edge g' 1 2);
+  check "original does not" false (G.mem_edge g 1 2)
+
+(* ------------------------------------------------------------------ *)
+(* Paths                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_is_path () =
+  let g = G.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  check "0-1-2-3" true (G.is_path g [ 0; 1; 2; 3 ]);
+  check "trivial" true (G.is_path g [ 2 ]);
+  check "gap" false (G.is_path g [ 0; 2 ]);
+  check "repeat" false (G.is_path g [ 0; 1; 0 ]);
+  check "empty" false (G.is_path g [])
+
+let test_path_internal () =
+  check "short" true (G.path_internal [ 1; 2 ] = []);
+  check "mid" true (G.path_internal [ 1; 2; 3; 4 ] = [ 2; 3 ]);
+  check "single" true (G.path_internal [ 9 ] = [])
+
+let test_path_excludes () =
+  let x = Nodeset.of_list [ 2; 5 ] in
+  check "internal hit" false (G.path_excludes [ 1; 2; 3 ] x);
+  check "endpoint ok" true (G.path_excludes [ 2; 3; 5 ] x);
+  check "clean" true (G.path_excludes [ 1; 3; 4 ] x)
+
+(* ------------------------------------------------------------------ *)
+(* Traversal                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bfs_dist () =
+  let g = G.of_edges 5 [ (0, 1); (1, 2); (2, 3) ] in
+  let d = T.bfs_dist g 0 in
+  check_int "d0" 0 d.(0);
+  check_int "d3" 3 d.(3);
+  check_int "unreachable" (-1) d.(4)
+
+let test_bfs_exclude () =
+  (* 0-1-2 and 0-3-2: excluding 1 forces distance via 3. *)
+  let g = G.of_edges 4 [ (0, 1); (1, 2); (0, 3); (3, 2) ] in
+  let d = T.bfs_dist ~exclude:(Nodeset.singleton 1) g 0 in
+  check_int "still 2 hops" 2 d.(2);
+  (* excluded node is reachable (as an endpoint) but not traversed *)
+  check_int "excluded seen" 1 d.(1)
+
+let test_connected () =
+  check "cycle" true (T.is_connected (G.of_edges 3 [ (0, 1); (1, 2); (2, 0) ]));
+  check "split" false (T.is_connected (G.of_edges 4 [ (0, 1); (2, 3) ]));
+  check "empty" true (T.is_connected (G.create 0));
+  check "singleton" true (T.is_connected (G.create 1));
+  check "two isolated" false (T.is_connected (G.create 2))
+
+let test_components () =
+  let g = G.of_edges 5 [ (0, 1); (2, 3) ] in
+  let comps = T.components g in
+  check_int "three comps" 3 (List.length comps);
+  let sizes = List.map Nodeset.cardinal comps |> List.sort compare in
+  check "sizes" true (sizes = [ 1; 2; 2 ])
+
+let test_shortest_path () =
+  let g = G.of_edges 5 [ (0, 1); (1, 2); (2, 3); (0, 4); (4, 3) ] in
+  (match T.shortest_path g ~src:0 ~dst:3 with
+  | Some p ->
+      check_int "3 hops" 3 (List.length p);
+      check "valid" true (G.is_path g p)
+  | None -> Alcotest.fail "expected path");
+  check "self" true (T.shortest_path g ~src:2 ~dst:2 = Some [ 2 ]);
+  let g2 = G.of_edges 3 [ (0, 1) ] in
+  check "absent" true (T.shortest_path g2 ~src:0 ~dst:2 = None)
+
+let test_shortest_path_exclude () =
+  let g = G.of_edges 5 [ (0, 1); (1, 2); (0, 3); (3, 4); (4, 2) ] in
+  match T.shortest_path ~exclude:(Nodeset.singleton 1) g ~src:0 ~dst:2 with
+  | Some p ->
+      check "avoids 1 internally" true (G.path_excludes p (Nodeset.singleton 1));
+      check_int "length 4" 4 (List.length p)
+  | None -> Alcotest.fail "expected detour"
+
+let test_all_simple_paths_cycle () =
+  let g = Lbc_graph.Builders.cycle 5 in
+  let paths = T.all_simple_paths g ~src:0 ~dst:2 in
+  (* In a cycle there are exactly two simple paths between any pair. *)
+  check_int "two paths" 2 (List.length paths);
+  List.iter (fun p -> check "valid" true (G.is_path g p)) paths
+
+let test_all_simple_paths_complete () =
+  let g = Lbc_graph.Builders.complete 5 in
+  let paths = T.all_simple_paths g ~src:0 ~dst:1 in
+  (* K5: paths 0..1 via any ordered subset of {2,3,4}: 1 + 3 + 6 + 6 = 16. *)
+  check_int "sixteen" 16 (List.length paths)
+
+let test_all_simple_paths_bounded () =
+  let g = Lbc_graph.Builders.complete 5 in
+  let paths = T.all_simple_paths ~max_interior:1 g ~src:0 ~dst:1 in
+  check_int "direct + 3 one-hop" 4 (List.length paths)
+
+let test_all_simple_paths_exclude () =
+  let g = Lbc_graph.Builders.cycle 5 in
+  let paths =
+    T.all_simple_paths ~exclude:(Nodeset.singleton 1) g ~src:0 ~dst:2
+  in
+  check_int "only the long way" 1 (List.length paths);
+  check "goes 0-4-3-2" true (List.hd paths = [ 0; 4; 3; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Combi                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_combinations () =
+  check_int "C(4,2)" 6 (List.length (C.combinations [ 1; 2; 3; 4 ] 2));
+  check "k=0" true (C.combinations [ 1; 2 ] 0 = [ [] ]);
+  check "k too big" true (C.combinations [ 1 ] 2 = []);
+  let all = C.combinations [ 1; 2; 3 ] 2 in
+  check "ordered" true (List.mem [ 1; 3 ] all && not (List.mem [ 3; 1 ] all))
+
+let test_subsets_up_to () =
+  let s = C.subsets_up_to [ 1; 2; 3 ] 2 in
+  check_int "1 + 3 + 3" 7 (List.length s);
+  check "empty first" true (List.hd s = [])
+
+let test_binomial () =
+  check_int "C(10,3)" 120 (C.binomial 10 3);
+  check_int "C(10,0)" 1 (C.binomial 10 0);
+  check_int "C(5,7)" 0 (C.binomial 5 7);
+  check_int "C(52,5)" 2598960 (C.binomial 52 5)
+
+let test_phase_count () =
+  check_int "n=5 f=1" 6 (C.phase_count ~n:5 ~f:1);
+  check_int "n=8 f=2" 37 (C.phase_count ~n:8 ~f:2)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gnp_gen =
+  QCheck.Gen.(
+    map2
+      (fun n seed -> Lbc_graph.Builders.random_gnp ~seed n 0.4)
+      (int_range 2 12) (int_range 0 10000))
+
+let arb_graph = QCheck.make ~print:(Format.asprintf "%a" G.pp) gnp_gen
+
+let prop_handshake =
+  QCheck.Test.make ~name:"sum of degrees = 2|E|" ~count:100 arb_graph (fun g ->
+      let sum = List.fold_left (fun a u -> a + G.degree g u) 0 (G.nodes g) in
+      sum = 2 * G.num_edges g)
+
+let prop_neighbors_symmetric =
+  QCheck.Test.make ~name:"adjacency is symmetric" ~count:100 arb_graph (fun g ->
+      List.for_all
+        (fun u ->
+          Nodeset.for_all (fun v -> Nodeset.mem u (G.neighbors g v))
+            (G.neighbors g u))
+        (G.nodes g))
+
+let prop_shortest_path_valid =
+  QCheck.Test.make ~name:"shortest paths are valid simple paths" ~count:100
+    arb_graph (fun g ->
+      let n = G.size g in
+      List.for_all
+        (fun u ->
+          List.for_all
+            (fun v ->
+              match T.shortest_path g ~src:u ~dst:v with
+              | None -> (T.bfs_dist g u).(v) < 0
+              | Some p ->
+                  G.is_path g p
+                  && List.hd p = u
+                  && List.nth p (List.length p - 1) = v
+                  && List.length p - 1 = (T.bfs_dist g u).(v))
+            (List.init n Fun.id))
+        (List.init (min n 4) Fun.id))
+
+let prop_simple_paths_are_simple =
+  QCheck.Test.make ~name:"all_simple_paths yields valid distinct paths"
+    ~count:50 arb_graph (fun g ->
+      let n = G.size g in
+      if n < 2 then true
+      else begin
+        let paths = T.all_simple_paths g ~src:0 ~dst:(n - 1) in
+        List.for_all (fun p -> G.is_path g p) paths
+        && List.length (List.sort_uniq compare paths) = List.length paths
+      end)
+
+let prop_components_partition =
+  QCheck.Test.make ~name:"components partition the node set" ~count:100
+    arb_graph (fun g ->
+      let comps = T.components g in
+      let union = List.fold_left Nodeset.union Nodeset.empty comps in
+      let total = List.fold_left (fun a c -> a + Nodeset.cardinal c) 0 comps in
+      Nodeset.equal union (G.node_set g) && total = G.size g)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "graph"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "create empty" `Quick test_create_empty;
+          Alcotest.test_case "add edge" `Quick test_add_edge;
+          Alcotest.test_case "add idempotent" `Quick test_add_edge_idempotent;
+          Alcotest.test_case "self loop" `Quick test_self_loop_rejected;
+          Alcotest.test_case "invalid node" `Quick test_invalid_node;
+          Alcotest.test_case "remove edge" `Quick test_remove_edge;
+          Alcotest.test_case "degrees" `Quick test_degrees;
+          Alcotest.test_case "edge listing" `Quick test_edges_listing;
+          Alcotest.test_case "without nodes" `Quick test_without_nodes;
+          Alcotest.test_case "set neighbours" `Quick test_neighbors_of_set;
+          Alcotest.test_case "equal" `Quick test_equal;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "is_path" `Quick test_is_path;
+          Alcotest.test_case "internal" `Quick test_path_internal;
+          Alcotest.test_case "excludes" `Quick test_path_excludes;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "bfs dist" `Quick test_bfs_dist;
+          Alcotest.test_case "bfs exclude" `Quick test_bfs_exclude;
+          Alcotest.test_case "connected" `Quick test_connected;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "shortest path" `Quick test_shortest_path;
+          Alcotest.test_case "shortest path exclude" `Quick
+            test_shortest_path_exclude;
+          Alcotest.test_case "simple paths cycle" `Quick
+            test_all_simple_paths_cycle;
+          Alcotest.test_case "simple paths complete" `Quick
+            test_all_simple_paths_complete;
+          Alcotest.test_case "simple paths bounded" `Quick
+            test_all_simple_paths_bounded;
+          Alcotest.test_case "simple paths exclude" `Quick
+            test_all_simple_paths_exclude;
+        ] );
+      ( "combi",
+        [
+          Alcotest.test_case "combinations" `Quick test_combinations;
+          Alcotest.test_case "subsets" `Quick test_subsets_up_to;
+          Alcotest.test_case "binomial" `Quick test_binomial;
+          Alcotest.test_case "phase count" `Quick test_phase_count;
+        ] );
+      ( "properties",
+        qt
+          [
+            prop_handshake;
+            prop_neighbors_symmetric;
+            prop_shortest_path_valid;
+            prop_simple_paths_are_simple;
+            prop_components_partition;
+          ] );
+    ]

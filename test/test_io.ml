@@ -1,0 +1,109 @@
+(* Tests for Graphio (edge-list serialisation) and Tracefmt (transcript
+   rendering). *)
+
+module G = Lbc_graph.Graph
+module B = Lbc_graph.Builders
+module IO = Lbc_graph.Graphio
+module Engine = Lbc_sim.Engine
+module Tracefmt = Lbc_sim.Tracefmt
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let test_roundtrip () =
+  List.iter
+    (fun g ->
+      match IO.of_edge_list (IO.to_edge_list g) with
+      | Ok g' -> check "roundtrip" true (G.equal g g')
+      | Error msg -> Alcotest.fail msg)
+    [ B.fig1a (); B.petersen (); B.complete 6; G.create 3; B.grid 3 4 ]
+
+let test_parse_comments_and_blanks () =
+  match IO.of_edge_list "# a comment\n\n4\n0 1\n\n# another\n 2  3 \n" with
+  | Ok g ->
+      check_int "size" 4 (G.size g);
+      check "edges" true (G.mem_edge g 0 1 && G.mem_edge g 2 3)
+  | Error msg -> Alcotest.fail msg
+
+let test_parse_errors () =
+  let is_err = function Error _ -> true | Ok _ -> false in
+  check "empty" true (is_err (IO.of_edge_list ""));
+  check "bad header" true (is_err (IO.of_edge_list "x\n0 1\n"));
+  check "bad edge" true (is_err (IO.of_edge_list "3\n0 a\n"));
+  check "out of range" true (is_err (IO.of_edge_list "3\n0 7\n"));
+  check "self loop" true (is_err (IO.of_edge_list "3\n1 1\n"))
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "lbcast" ".edges" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let g = B.fig1b () in
+      IO.to_file path g;
+      match IO.of_file path with
+      | Ok g' -> check "file roundtrip" true (G.equal g g')
+      | Error msg -> Alcotest.fail msg)
+
+let test_missing_file () =
+  check "missing" true
+    (match IO.of_file "/nonexistent/never.edges" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let sample_transcript =
+  [
+    (0, 1, Engine.Broadcast "hello");
+    (0, 2, Engine.Unicast (3, "psst"));
+    (2, 1, Engine.Broadcast "again");
+  ]
+
+(* naive substring search, good enough for assertions *)
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_pp_transcript () =
+  let rendered =
+    Format.asprintf "%a"
+      (Tracefmt.pp_transcript ~pp_msg:Format.pp_print_string)
+      sample_transcript
+  in
+  check "has round headers" true
+    (contains rendered "-- round 0 --" && contains rendered "-- round 2 --");
+  check "broadcast arrow" true (contains rendered "1 => *: hello");
+  check "unicast arrow" true (contains rendered "2 -> 3: psst")
+
+let test_by_round () =
+  check "counts" true
+    (Tracefmt.transmissions_by_round sample_transcript = [ (0, 2); (2, 1) ])
+
+let test_pp_stats () =
+  let s = { Engine.rounds = 3; transmissions = 7; deliveries = 12 } in
+  check_str "stats" "3 rounds, 7 transmissions, 12 deliveries"
+    (Format.asprintf "%a" Tracefmt.pp_stats s)
+
+let () =
+  Alcotest.run "io"
+    [
+      ( "graphio",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "comments/blanks" `Quick
+            test_parse_comments_and_blanks;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "missing file" `Quick test_missing_file;
+        ] );
+      ( "tracefmt",
+        [
+          Alcotest.test_case "transcript" `Quick test_pp_transcript;
+          Alcotest.test_case "by round" `Quick test_by_round;
+          Alcotest.test_case "stats" `Quick test_pp_stats;
+        ] );
+    ]

@@ -1,0 +1,244 @@
+(* White-box tests of the paper's proof obligations, checked on live
+   executions of Algorithm 1 via the phase observer:
+
+   - Lemma 5.2: a non-faulty node's state at the end of any phase equals
+     some non-faulty node's state at the start of that phase.
+   - Lemma 5.3: in the decisive phase (F contains all actual faults) all
+     non-faulty nodes end with identical states; moreover their Z/N
+     estimates coincide.
+   - Lemma 5.4: for every phase's F, every ordered pair has a uv-path
+     excluding F.
+   - Lemma 5.5: whenever an honest v lands in B_v, the graph really
+     contains f+1 node-disjoint A_v v-paths excluding F.
+   - Observation B.1: a value received along a fault-free path from an
+     honest origin is that origin's flooded state.
+   - Stability: after the decisive phase, honest states never change. *)
+
+module A1 = Lbc_consensus.Algorithm1
+module Phase = Lbc_consensus.Phase
+module Bit = Lbc_consensus.Bit
+module Flood = Lbc_flood.Flood
+module S = Lbc_adversary.Strategy
+module B = Lbc_graph.Builders
+module G = Lbc_graph.Graph
+module D = Lbc_graph.Disjoint
+module T = Lbc_graph.Traversal
+module Nodeset = Lbc_graph.Nodeset
+
+let check = Alcotest.(check bool)
+
+type ctx = {
+  g : G.t;
+  f : int;
+  faulty : Nodeset.t;
+  obs : A1.phase_observation list;
+}
+
+let collect ~g ~f ~inputs ~faulty ~strategy ~seed =
+  let acc = ref [] in
+  let (_ : Lbc_consensus.Spec.outcome) =
+    A1.run ~g ~f ~inputs ~faulty ~strategy ~seed
+      ~observer:(fun o -> acc := o :: !acc)
+      ()
+  in
+  { g; f; faulty; obs = List.rev !acc }
+
+let honest ctx v = not (Nodeset.mem v ctx.faulty)
+let honest_nodes ctx = List.filter (honest ctx) (G.nodes ctx.g)
+
+(* Lemma 5.2 *)
+let check_lemma_5_2 ctx =
+  List.iter
+    (fun (o : A1.phase_observation) ->
+      List.iter
+        (fun v ->
+          let value = o.A1.after.(v) in
+          check
+            (Printf.sprintf "5.2: phase %d node %d" o.A1.phase_idx v)
+            true
+            (List.exists
+               (fun u -> Bit.equal o.A1.before.(u) value)
+               (honest_nodes ctx)))
+        (honest_nodes ctx))
+    ctx.obs
+
+(* Lemma 5.3 + estimate agreement + stability after the decisive phase *)
+let check_lemma_5_3 ctx =
+  let decisive =
+    List.filter
+      (fun (o : A1.phase_observation) -> Nodeset.subset ctx.faulty o.A1.cap_f)
+      ctx.obs
+  in
+  check "a decisive phase exists" true (decisive <> []);
+  List.iter
+    (fun (o : A1.phase_observation) ->
+      (match honest_nodes ctx with
+      | [] -> ()
+      | v0 :: rest ->
+          List.iter
+            (fun v ->
+              check
+                (Printf.sprintf "5.3: phase %d agreement" o.A1.phase_idx)
+                true
+                (Bit.equal o.A1.after.(v0) o.A1.after.(v)))
+            rest;
+          (* Z-estimates coincide across honest nodes *)
+          let z_of v =
+            match o.A1.stores.(v) with
+            | Some store ->
+                (Phase.classify ctx.g ~f:ctx.f ~cap_f:o.A1.cap_f
+                   ~cap_t:Nodeset.empty ~store ~gamma:o.A1.before.(v))
+                  .Phase.z
+            | None -> Nodeset.empty
+          in
+          let z0 = z_of v0 in
+          List.iter
+            (fun v ->
+              check
+                (Printf.sprintf "5.3: phase %d Z-estimates" o.A1.phase_idx)
+                true
+                (Nodeset.equal z0 (z_of v)))
+            rest))
+    decisive;
+  (* stability: once a decisive phase has happened, honest states freeze *)
+  let rec stable_after seen_decisive = function
+    | [] -> ()
+    | (o : A1.phase_observation) :: rest ->
+        if seen_decisive then
+          List.iter
+            (fun v ->
+              check "stability" true (Bit.equal o.A1.before.(v) o.A1.after.(v)))
+            (honest_nodes ctx);
+        stable_after
+          (seen_decisive || Nodeset.subset ctx.faulty o.A1.cap_f)
+          rest
+  in
+  stable_after false ctx.obs
+
+(* Lemma 5.4 *)
+let check_lemma_5_4 ctx =
+  List.iter
+    (fun (o : A1.phase_observation) ->
+      List.iter
+        (fun u ->
+          List.iter
+            (fun v ->
+              if u <> v then
+                check
+                  (Printf.sprintf "5.4: phase %d %d->%d" o.A1.phase_idx u v)
+                  true
+                  (T.shortest_path ~exclude:o.A1.cap_f ctx.g ~src:u ~dst:v
+                  <> None))
+            (G.nodes ctx.g))
+        (G.nodes ctx.g))
+    ctx.obs
+
+(* Lemma 5.5 *)
+let check_lemma_5_5 ctx =
+  List.iter
+    (fun (o : A1.phase_observation) ->
+      List.iter
+        (fun v ->
+          match o.A1.stores.(v) with
+          | None -> ()
+          | Some store ->
+              let cls =
+                Phase.classify ctx.g ~f:ctx.f ~cap_f:o.A1.cap_f
+                  ~cap_t:Nodeset.empty ~store ~gamma:o.A1.before.(v)
+              in
+              if Nodeset.mem v cls.Phase.b then begin
+                let count =
+                  List.length
+                    (D.disjoint_set_paths ~excluded:o.A1.cap_f
+                       ~limit:(ctx.f + 1) ctx.g
+                       ~sources:(Nodeset.remove v cls.Phase.a)
+                       ~sink:v)
+                in
+                check
+                  (Printf.sprintf "5.5: phase %d node %d case %d"
+                     o.A1.phase_idx v cls.Phase.case)
+                  true
+                  (count >= ctx.f + 1)
+              end)
+        (honest_nodes ctx))
+    ctx.obs
+
+(* Observation B.1 *)
+let check_observation_b1 ctx =
+  List.iter
+    (fun (o : A1.phase_observation) ->
+      List.iter
+        (fun v ->
+          match o.A1.stores.(v) with
+          | None -> ()
+          | Some store ->
+              List.iter
+                (fun (origin, path, value) ->
+                  let fault_free =
+                    List.for_all
+                      (fun x -> honest ctx x)
+                      (G.path_internal path)
+                  in
+                  if fault_free && honest ctx origin then
+                    check
+                      (Printf.sprintf "B.1: phase %d %d->%d" o.A1.phase_idx
+                         origin v)
+                      true
+                      (Bit.equal value o.A1.before.(origin)))
+                (Flood.records store))
+        (honest_nodes ctx))
+    ctx.obs
+
+let run_all ctx =
+  check_lemma_5_2 ctx;
+  check_lemma_5_3 ctx;
+  check_lemma_5_4 ctx;
+  check_lemma_5_5 ctx;
+  check_observation_b1 ctx
+
+let test_cycle_sweep () =
+  let g = B.fig1a () in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun bad ->
+          let inputs = [| Bit.Zero; Bit.One; Bit.One; Bit.Zero; Bit.One |] in
+          run_all
+            (collect ~g ~f:1 ~inputs ~faulty:(Nodeset.singleton bad)
+               ~strategy:(fun _ -> kind) ~seed:3))
+        [ 0; 2; 4 ])
+    [ S.Flip_forwards; S.Silent; S.Lie; S.Noise 2 ]
+
+let test_no_faults () =
+  let g = B.fig1a () in
+  let inputs = [| Bit.One; Bit.Zero; Bit.One; Bit.Zero; Bit.Zero |] in
+  run_all
+    (collect ~g ~f:1 ~inputs ~faulty:Nodeset.empty
+       ~strategy:(fun _ -> S.Silent) ~seed:0)
+
+let test_fig1b_f2 () =
+  let g = B.fig1b () in
+  let inputs = Array.init 8 (fun i -> Bit.of_int (i land 1)) in
+  run_all
+    (collect ~g ~f:2 ~inputs ~faulty:(Nodeset.of_list [ 1; 6 ])
+       ~strategy:(fun v -> if v = 1 then S.Flip_forwards else S.Spurious 2)
+       ~seed:7)
+
+let test_tight_graph () =
+  let g = B.tight 1 in
+  let inputs = Array.init (G.size g) (fun i -> Bit.of_int ((i / 2) land 1)) in
+  run_all
+    (collect ~g ~f:1 ~inputs ~faulty:(Nodeset.singleton 2)
+       ~strategy:(fun _ -> S.Flip_forwards) ~seed:1)
+
+let () =
+  Alcotest.run "lemmas"
+    [
+      ( "algorithm 1 proof obligations",
+        [
+          Alcotest.test_case "cycle sweep" `Slow test_cycle_sweep;
+          Alcotest.test_case "no faults" `Quick test_no_faults;
+          Alcotest.test_case "fig1b f=2" `Slow test_fig1b_f2;
+          Alcotest.test_case "tight graph" `Quick test_tight_graph;
+        ] );
+    ]

@@ -1,0 +1,97 @@
+(* Tests for the multi-valued extension (bitwise reduction over
+   Algorithm 2). *)
+
+module MV = Lbc_consensus.Multivalued
+module B = Lbc_graph.Builders
+module Nodeset = Lbc_graph.Nodeset
+module S = Lbc_adversary.Strategy
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_unanimous () =
+  let g = B.cycle 6 in
+  let o =
+    MV.run ~g ~f:1 ~bits:4 ~inputs:(Array.make 6 11) ~faulty:Nodeset.empty ()
+  in
+  check "agreement" true (MV.agreement o);
+  check "weak validity" true (MV.weak_validity o);
+  check "decides 11" true (MV.decision o = Some 11)
+
+let test_unanimous_under_attack () =
+  let g = B.fig1a () in
+  List.iter
+    (fun bad ->
+      let inputs = Array.make 5 6 in
+      inputs.(bad) <- 9;
+      let o =
+        MV.run ~g ~f:1 ~bits:4 ~inputs ~faulty:(Nodeset.singleton bad)
+          ~strategy:(fun _ -> S.Flip_forwards) ()
+      in
+      check "agreement" true (MV.agreement o);
+      check "decides honest unanimous 6" true (MV.decision o = Some 6))
+    [ 0; 2; 4 ]
+
+let test_mixed_agreement () =
+  let g = B.fig1a () in
+  let inputs = [| 3; 12; 7; 0; 5 |] in
+  let o =
+    MV.run ~g ~f:1 ~bits:4 ~inputs ~faulty:(Nodeset.singleton 1)
+      ~strategy:(fun _ -> S.Lie) ()
+  in
+  check "agreement" true (MV.agreement o);
+  check "weak validity (vacuous)" true (MV.weak_validity o)
+
+let test_rounds_scale_with_bits () =
+  let g = B.cycle 5 in
+  let run bits =
+    MV.run ~g ~f:1 ~bits ~inputs:(Array.make 5 1) ~faulty:Nodeset.empty ()
+  in
+  let o2 = run 2 and o4 = run 4 in
+  check_int "2 bits = 2 x (3n+1)" (2 * 16) o2.MV.rounds;
+  check_int "4 bits = 4 x (3n+1)" (4 * 16) o4.MV.rounds
+
+let test_bad_args () =
+  let g = B.cycle 5 in
+  check "out of range input" true
+    (match
+       MV.run ~g ~f:1 ~bits:2 ~inputs:[| 0; 1; 2; 3; 4 |]
+         ~faulty:Nodeset.empty ()
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check "bad width" true
+    (match
+       MV.run ~g ~f:1 ~bits:0 ~inputs:(Array.make 5 0) ~faulty:Nodeset.empty ()
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let prop_unanimity_decided =
+  QCheck.Test.make ~name:"unanimous honest value always decided" ~count:12
+    QCheck.(pair (int_range 0 15) (int_range 0 4))
+    (fun (value, bad) ->
+      let g = B.fig1a () in
+      let inputs = Array.make 5 value in
+      inputs.(bad) <- 15 - value;
+      let o =
+        MV.run ~g ~f:1 ~bits:4 ~inputs ~faulty:(Nodeset.singleton bad)
+          ~strategy:(fun _ -> S.Lie) ()
+      in
+      MV.agreement o && MV.decision o = Some value)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "multivalued"
+    [
+      ( "reduction",
+        [
+          Alcotest.test_case "unanimous" `Quick test_unanimous;
+          Alcotest.test_case "unanimous under attack" `Quick
+            test_unanimous_under_attack;
+          Alcotest.test_case "mixed agreement" `Quick test_mixed_agreement;
+          Alcotest.test_case "rounds scale" `Quick test_rounds_scale_with_bits;
+          Alcotest.test_case "bad args" `Quick test_bad_args;
+        ] );
+      ("properties", qt [ prop_unanimity_decided ]);
+    ]

@@ -1,0 +1,152 @@
+(* Tests for the step (b)/(c) phase logic: classification into Z/N, the
+   four-case A/B selection, and the conditional state update. *)
+
+module Phase = Lbc_consensus.Phase
+module Bit = Lbc_consensus.Bit
+module Flood = Lbc_flood.Flood
+module Engine = Lbc_sim.Engine
+module B = Lbc_graph.Builders
+module G = Lbc_graph.Graph
+module Nodeset = Lbc_graph.Nodeset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Run an honest flood of the given inputs and return the stores. *)
+let flood_stores g inputs =
+  let n = G.size g in
+  let topo = Engine.topology_of_graph g in
+  let roles =
+    Array.init n (fun v ->
+        Engine.Honest
+          (Flood.proc
+             (Flood.create g ~me:v ~initiate:inputs.(v) ~default:Bit.default ())))
+  in
+  let r =
+    Engine.run topo ~model:Engine.Local_broadcast
+      ~rounds:(Flood.rounds_needed g) ~roles
+  in
+  Array.map Option.get r.Engine.outputs
+
+let test_classify_fault_free () =
+  (* 5-cycle, inputs 0,1,0,1,0; F = {} and f = 1. Z = {0,2,4}, N = {1,3};
+     |Z∩F|=0 <= 0, |N| = 2 > f: case 1, A = N, B = Z. *)
+  let g = B.fig1a () in
+  let inputs = [| Bit.Zero; Bit.One; Bit.Zero; Bit.One; Bit.Zero |] in
+  let stores = flood_stores g inputs in
+  let cls =
+    Phase.classify g ~f:1 ~cap_f:Nodeset.empty ~cap_t:Nodeset.empty
+      ~store:stores.(0) ~gamma:Bit.Zero
+  in
+  check "Z" true (Nodeset.equal cls.Phase.z (Nodeset.of_list [ 0; 2; 4 ]));
+  check "N" true (Nodeset.equal cls.Phase.n (Nodeset.of_list [ 1; 3 ]));
+  check_int "case 1" 1 cls.Phase.case;
+  check "A = N" true (Nodeset.equal cls.Phase.a cls.Phase.n)
+
+let test_classify_case2 () =
+  (* All ones except node 0: Z = {0}, N = rest; with F = {} (zf = 0) and
+     |N| = 4 > f=1 -> case 1 from node 0's view. With F = {1}: zf=0,
+     |N|=4>1 still case 1. To get case 2, make N small: inputs all zero,
+     F = {} : Z = everything, N = {} size 0 <= f: case 2, A=Z, B=N. *)
+  let g = B.fig1a () in
+  let inputs = Array.make 5 Bit.Zero in
+  let stores = flood_stores g inputs in
+  let cls =
+    Phase.classify g ~f:1 ~cap_f:Nodeset.empty ~cap_t:Nodeset.empty
+      ~store:stores.(2) ~gamma:Bit.Zero
+  in
+  check_int "case 2" 2 cls.Phase.case;
+  check "B empty" true (Nodeset.is_empty cls.Phase.b);
+  check "A everyone" true (Nodeset.equal cls.Phase.a (G.node_set g))
+
+let test_classify_case3 () =
+  (* f=1, F={0}, node 0 flooded Zero, many zeros: zf = 1 > 0 and |Z| > f:
+     case 3. *)
+  let g = B.fig1a () in
+  let inputs = [| Bit.Zero; Bit.Zero; Bit.Zero; Bit.One; Bit.One |] in
+  let stores = flood_stores g inputs in
+  let cls =
+    Phase.classify g ~f:1 ~cap_f:(Nodeset.singleton 0) ~cap_t:Nodeset.empty
+      ~store:stores.(3) ~gamma:Bit.One
+  in
+  check_int "case 3" 3 cls.Phase.case;
+  check "A = Z" true (Nodeset.equal cls.Phase.a (Nodeset.of_list [ 0; 1; 2 ]))
+
+let test_classify_case4 () =
+  (* f=2 on fig1b; F = {0,1}, only node 0 flooded Zero: zf=1 > floor(2/2)=1?
+     No: need zf > 1, so let 0 and 1 flood Zero: zf=2 > 1, |Z| = 2 <= f:
+     case 4. *)
+  let g = B.fig1b () in
+  let inputs = Array.make 8 Bit.One in
+  inputs.(0) <- Bit.Zero;
+  inputs.(1) <- Bit.Zero;
+  let stores = flood_stores g inputs in
+  let cls =
+    Phase.classify g ~f:2 ~cap_f:(Nodeset.of_list [ 0; 1 ]) ~cap_t:Nodeset.empty
+      ~store:stores.(5) ~gamma:Bit.One
+  in
+  check_int "case 4" 4 cls.Phase.case;
+  check "B = Z" true (Nodeset.equal cls.Phase.b (Nodeset.of_list [ 0; 1 ]))
+
+let test_classify_hybrid_excludes_t () =
+  let g = B.complete 5 in
+  let inputs = Array.make 5 Bit.One in
+  let stores = flood_stores g inputs in
+  let cls =
+    Phase.classify g ~f:2 ~cap_f:Nodeset.empty ~cap_t:(Nodeset.of_list [ 3 ])
+      ~store:stores.(0) ~gamma:Bit.One
+  in
+  check "T not classified" true
+    (not (Nodeset.mem 3 (Nodeset.union cls.Phase.z cls.Phase.n)))
+
+let test_update_joins_majority_side () =
+  (* Mixed inputs on the cycle, F = {}: the Zero-holders are in B and see
+     both N-members' One along 2 disjoint paths -> they adopt One. *)
+  let g = B.fig1a () in
+  let inputs = [| Bit.Zero; Bit.One; Bit.Zero; Bit.One; Bit.Zero |] in
+  let stores = flood_stores g inputs in
+  let updated =
+    Phase.update g ~f:1 ~cap_f:Nodeset.empty ~cap_t:Nodeset.empty
+      ~store:stores.(0) ~gamma:Bit.Zero
+  in
+  check "updated to One" true (updated = Bit.One);
+  (* N-members are not in B: unchanged. *)
+  let same =
+    Phase.update g ~f:1 ~cap_f:Nodeset.empty ~cap_t:Nodeset.empty
+      ~store:stores.(1) ~gamma:Bit.One
+  in
+  check "N member keeps" true (same = Bit.One)
+
+let test_update_no_paths_keeps_state () =
+  (* All-zero flood: B is empty; nobody changes state. *)
+  let g = B.fig1a () in
+  let inputs = Array.make 5 Bit.Zero in
+  let stores = flood_stores g inputs in
+  List.iter
+    (fun v ->
+      check "unchanged" true
+        (Phase.update g ~f:1 ~cap_f:Nodeset.empty ~cap_t:Nodeset.empty
+           ~store:stores.(v) ~gamma:Bit.Zero
+        = Bit.Zero))
+    (G.nodes g)
+
+let () =
+  Alcotest.run "phase"
+    [
+      ( "classify",
+        [
+          Alcotest.test_case "fault free case 1" `Quick test_classify_fault_free;
+          Alcotest.test_case "case 2" `Quick test_classify_case2;
+          Alcotest.test_case "case 3" `Quick test_classify_case3;
+          Alcotest.test_case "case 4" `Quick test_classify_case4;
+          Alcotest.test_case "hybrid excludes T" `Quick
+            test_classify_hybrid_excludes_t;
+        ] );
+      ( "update",
+        [
+          Alcotest.test_case "joins majority side" `Quick
+            test_update_joins_majority_side;
+          Alcotest.test_case "no change without B" `Quick
+            test_update_no_paths_keeps_state;
+        ] );
+    ]

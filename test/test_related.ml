@@ -1,0 +1,175 @@
+(* Tests for the related-work modules of §2: CPA reliable broadcast and
+   W-MSR iterative approximate consensus, plus the r-robustness
+   property they depend on. *)
+
+module Cpa = Lbc_consensus.Cpa
+module It = Lbc_consensus.Iterative
+module Bit = Lbc_consensus.Bit
+module B = Lbc_graph.Builders
+module G = Lbc_graph.Graph
+module Cond = Lbc_graph.Conditions
+module Nodeset = Lbc_graph.Nodeset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* CPA                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_cpa_no_faults () =
+  let g = B.torus 3 3 in
+  let o =
+    Cpa.run ~g ~f:1 ~source:0 ~value:Bit.One ~faulty:Nodeset.empty ()
+  in
+  check "safe" true (Cpa.safe o ~source_honest:true ~value:Bit.One);
+  check "live" true (Cpa.live o ~faulty:Nodeset.empty);
+  Array.iter
+    (fun c -> check "all committed 1" true (c = Some Bit.One))
+    o.Cpa.committed
+
+let test_cpa_safety_under_lies () =
+  (* K6, f = 2: two lying relays can never fabricate f+1 = 3 distinct
+     committed neighbours. *)
+  let g = B.complete 6 in
+  let faulty = Nodeset.of_list [ 3; 4 ] in
+  let o = Cpa.run ~g ~f:2 ~source:0 ~value:Bit.Zero ~faulty () in
+  check "safe" true (Cpa.safe o ~source_honest:true ~value:Bit.Zero);
+  check "live" true (Cpa.live o ~faulty)
+
+let test_cpa_faulty_source_consistent () =
+  (* A faulty source cannot equivocate under local broadcast: all honest
+     committers agree (on the flipped value it chose to send). *)
+  let g = B.complete 5 in
+  let faulty = Nodeset.singleton 0 in
+  let o = Cpa.run ~g ~f:1 ~source:0 ~value:Bit.Zero ~faulty () in
+  let committed_values =
+    Array.to_list o.Cpa.committed |> List.filter_map Fun.id
+    |> List.sort_uniq compare
+  in
+  check_int "single value" 1 (List.length committed_values)
+
+let test_cpa_liveness_needs_structure () =
+  (* On the 5-cycle with f = 1, a silent faulty relay cuts one of the two
+     directions, and far nodes cannot gather 2 committed neighbours:
+     liveness fails even though exact consensus is possible on this graph
+     (the paper's point that broadcast and consensus requirements do not
+     coincide). *)
+  let g = B.fig1a () in
+  let faulty = Nodeset.singleton 1 in
+  let o = Cpa.run ~g ~f:1 ~source:0 ~value:Bit.One ~faulty ~lie:false () in
+  check "safe still" true (Cpa.safe o ~source_honest:true ~value:Bit.One);
+  check "not live" false (Cpa.live o ~faulty)
+
+let test_cpa_silent_vs_lying () =
+  let g = B.torus 3 3 in
+  let faulty = Nodeset.singleton 4 in
+  List.iter
+    (fun lie ->
+      let o = Cpa.run ~g ~f:1 ~source:0 ~value:Bit.One ~faulty ~lie () in
+      check "safe" true (Cpa.safe o ~source_honest:true ~value:Bit.One))
+    [ true; false ]
+
+(* ------------------------------------------------------------------ *)
+(* r-robustness                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_robustness_families () =
+  check "K5 is 3-robust" true (Cond.r_robust (B.complete 5) ~r:3);
+  check "K5 is not 5-robust" false (Cond.r_robust (B.complete 5) ~r:5);
+  (* the cycle is only 1-robust *)
+  check "C5 is 1-robust" true (Cond.r_robust (B.fig1a ()) ~r:1);
+  check "C5 is not 2-robust" false (Cond.r_robust (B.fig1a ()) ~r:2);
+  check "path not 2-robust" false (Cond.r_robust (B.path_graph 4) ~r:2)
+
+let test_robustness_vs_lbc_condition () =
+  (* The paper's §2 claim, concretely: the 5-cycle satisfies the tight
+     exact-consensus condition for f = 1, but is not (2f+1) = 3-robust,
+     so the W-MSR class cannot handle it. *)
+  let g = B.fig1a () in
+  check "lbc feasible" true (Cond.lbc_feasible g ~f:1);
+  check "not 3-robust" false (Cond.r_robust g ~r:3)
+
+(* ------------------------------------------------------------------ *)
+(* W-MSR                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_wmsr_no_faults_converges () =
+  let g = B.complete 6 in
+  let inputs = [| 0.0; 1.0; 0.3; 0.8; 0.1; 0.9 |] in
+  let h = It.run ~g ~f:0 ~inputs ~faulty:Nodeset.empty ~rounds:60 () in
+  check "converged" true (It.converged ~eps:1e-6 h);
+  check "validity" true
+    (It.validity_interval h ~faulty:Nodeset.empty ~inputs)
+
+let test_wmsr_robust_graph_converges_despite_fault () =
+  (* K7 is 3-robust (enough for f = 1); one oscillating fault. *)
+  let g = B.complete 7 in
+  check "K7 3-robust" true (Cond.r_robust g ~r:3);
+  let inputs = [| 0.0; 1.0; 0.2; 0.9; 0.5; 0.4; 0.7 |] in
+  let faulty = Nodeset.singleton 3 in
+  let h = It.run ~g ~f:1 ~inputs ~faulty ~rounds:80 () in
+  check "converged" true (It.converged ~eps:1e-4 h);
+  check "validity" true (It.validity_interval h ~faulty ~inputs)
+
+let test_wmsr_cycle_stalls () =
+  (* On the 5-cycle (not 3-robust) W-MSR has a genuine fixed point with
+     spread 1: two honest blocks holding 0 and 1, and the faulty node
+     between them broadcasting a constant 0. Each block member trims the
+     single dissenting neighbour value and never moves — although
+     Algorithm 1 solves the same setting exactly. *)
+  let g = B.fig1a () in
+  let inputs = [| 0.0; 0.0; 0.5; 1.0; 1.0 |] in
+  let faulty = Nodeset.singleton 2 in
+  let h =
+    It.run ~g ~f:1 ~inputs ~faulty ~rounds:60
+      ~adversary:(fun ~me:_ ~round:_ -> 0.0)
+      ()
+  in
+  check "not converged" false (It.converged ~eps:0.5 h);
+  check "spread stuck at 1" true
+    (match List.rev h.It.spread with s :: _ -> s > 0.99 | [] -> false);
+  check "validity still holds" true (It.validity_interval h ~faulty ~inputs)
+
+let test_wmsr_spread_monotone () =
+  let g = B.complete 6 in
+  let inputs = [| 0.0; 1.0; 0.5; 0.25; 0.75; 0.6 |] in
+  let h =
+    It.run ~g ~f:1 ~inputs ~faulty:(Nodeset.singleton 5) ~rounds:40 ()
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-9 && monotone rest
+    | [ _ ] | [] -> true
+  in
+  check "spread non-increasing" true (monotone h.It.spread);
+  check_int "one spread per round + initial" 41 (List.length h.It.spread)
+
+let () =
+  Alcotest.run "related"
+    [
+      ( "cpa",
+        [
+          Alcotest.test_case "no faults" `Quick test_cpa_no_faults;
+          Alcotest.test_case "safety under lies" `Quick
+            test_cpa_safety_under_lies;
+          Alcotest.test_case "faulty source consistent" `Quick
+            test_cpa_faulty_source_consistent;
+          Alcotest.test_case "liveness needs structure" `Quick
+            test_cpa_liveness_needs_structure;
+          Alcotest.test_case "silent vs lying" `Quick test_cpa_silent_vs_lying;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "families" `Quick test_robustness_families;
+          Alcotest.test_case "vs LBC condition" `Quick
+            test_robustness_vs_lbc_condition;
+        ] );
+      ( "wmsr",
+        [
+          Alcotest.test_case "no faults" `Quick test_wmsr_no_faults_converges;
+          Alcotest.test_case "robust graph" `Quick
+            test_wmsr_robust_graph_converges_despite_fault;
+          Alcotest.test_case "cycle stalls" `Quick test_wmsr_cycle_stalls;
+          Alcotest.test_case "spread monotone" `Quick test_wmsr_spread_monotone;
+        ] );
+    ]

@@ -1,0 +1,225 @@
+(* Tests for the synchronous engine: delivery semantics, inbox ordering,
+   communication-model enforcement, directed topologies, transcripts and
+   statistics. *)
+
+module Engine = Lbc_sim.Engine
+module B = Lbc_graph.Builders
+module Nodeset = Lbc_graph.Nodeset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A proc that logs everything it receives and broadcasts a fixed list of
+   messages at given rounds. *)
+let logger sends =
+  let log = ref [] in
+  let step ~round ~inbox =
+    log := (round, inbox) :: !log;
+    match List.assoc_opt round sends with Some ms -> ms | None -> []
+  in
+  ({ Engine.step; output = (fun () -> List.rev !log) }, log)
+
+let test_broadcast_delivery () =
+  (* path 0-1-2: 0 broadcasts at round 0; 1 hears it at round 1; 2 never. *)
+  let g = B.path_graph 3 in
+  let topo = Engine.topology_of_graph g in
+  let p0, _ = logger [ (0, [ "hello" ]) ] in
+  let p1, _ = logger [] in
+  let p2, _ = logger [] in
+  let roles = [| Engine.Honest p0; Engine.Honest p1; Engine.Honest p2 |] in
+  let r =
+    Engine.run topo ~model:Engine.Local_broadcast ~rounds:3 ~roles
+  in
+  let log1 = Option.get r.Engine.outputs.(1) in
+  let log2 = Option.get r.Engine.outputs.(2) in
+  check "1 heard at round 1" true (List.assoc 1 log1 = [ (0, "hello") ]);
+  check "2 heard nothing" true
+    (List.for_all (fun (_, inbox) -> inbox = []) log2)
+
+let test_inbox_ordering () =
+  (* Node 1 hears 0 and 2 in the same round: inbox sorted by sender, each
+     sender's emissions in order. *)
+  let g = B.path_graph 3 in
+  let topo = Engine.topology_of_graph g in
+  let p0, _ = logger [ (0, [ "a1"; "a2" ]) ] in
+  let p1, _ = logger [] in
+  let p2, _ = logger [ (0, [ "c" ]) ] in
+  let roles = [| Engine.Honest p0; Engine.Honest p1; Engine.Honest p2 |] in
+  let r = Engine.run topo ~model:Engine.Local_broadcast ~rounds:2 ~roles in
+  let log1 = Option.get r.Engine.outputs.(1) in
+  check "ordered inbox" true
+    (List.assoc 1 log1 = [ (0, "a1"); (0, "a2"); (2, "c") ])
+
+let test_local_broadcast_identical () =
+  (* Both neighbours of a broadcaster receive the identical sequence. *)
+  let g = B.cycle 3 in
+  let topo = Engine.topology_of_graph g in
+  let p0, _ = logger [ (0, [ "x"; "y" ]) ] in
+  let p1, _ = logger [] in
+  let p2, _ = logger [] in
+  let roles = [| Engine.Honest p0; Engine.Honest p1; Engine.Honest p2 |] in
+  let r = Engine.run topo ~model:Engine.Local_broadcast ~rounds:2 ~roles in
+  let from0 log = List.filter (fun (s, _) -> s = 0) (List.assoc 1 log) in
+  check "identical" true
+    (from0 (Option.get r.Engine.outputs.(1))
+    = from0 (Option.get r.Engine.outputs.(2)))
+
+let test_unicast_forbidden_lbc () =
+  let g = B.cycle 3 in
+  let topo = Engine.topology_of_graph g in
+  let f : string Engine.fstep =
+   fun ~round ~inbox:_ -> if round = 0 then [ Engine.Unicast (1, "sneaky") ] else []
+  in
+  let p, _ = logger [] in
+  let roles = [| Engine.Faulty f; Engine.Honest p; Engine.Honest (fst (logger [])) |] in
+  check "raises" true
+    (match Engine.run topo ~model:Engine.Local_broadcast ~rounds:2 ~roles with
+    | _ -> false
+    | exception Engine.Model_violation _ -> true)
+
+let test_unicast_allowed_p2p () =
+  let g = B.cycle 3 in
+  let topo = Engine.topology_of_graph g in
+  let f : string Engine.fstep =
+   fun ~round ~inbox:_ -> if round = 0 then [ Engine.Unicast (1, "ok") ] else []
+  in
+  let p1, _ = logger [] in
+  let p2, _ = logger [] in
+  let roles = [| Engine.Faulty f; Engine.Honest p1; Engine.Honest p2 |] in
+  let r = Engine.run topo ~model:Engine.Point_to_point ~rounds:2 ~roles in
+  let log1 = Option.get r.Engine.outputs.(1) in
+  let log2 = Option.get r.Engine.outputs.(2) in
+  check "1 got it" true (List.assoc 1 log1 = [ (0, "ok") ]);
+  check "2 did not" true (List.assoc 1 log2 = [])
+
+let test_hybrid_enforcement () =
+  let g = B.cycle 3 in
+  let topo = Engine.topology_of_graph g in
+  let f u : string Engine.fstep =
+   fun ~round ~inbox:_ ->
+    if round = 0 then [ Engine.Unicast ((u + 1) mod 3, "e") ] else []
+  in
+  let mk equivocators =
+    let roles =
+      [| Engine.Faulty (f 0); Engine.Honest (fst (logger [])); Engine.Honest (fst (logger [])) |]
+    in
+    Engine.run topo ~model:(Engine.Hybrid equivocators) ~rounds:2 ~roles
+  in
+  check "member may unicast" true
+    (match mk (Nodeset.singleton 0) with _ -> true | exception _ -> false);
+  check "non-member may not" true
+    (match mk (Nodeset.singleton 1) with
+    | _ -> false
+    | exception Engine.Model_violation _ -> true)
+
+let test_unicast_needs_link () =
+  let g = B.path_graph 3 in
+  (* 0 and 2 are not adjacent *)
+  let topo = Engine.topology_of_graph g in
+  let f : string Engine.fstep =
+   fun ~round ~inbox:_ -> if round = 0 then [ Engine.Unicast (2, "far") ] else []
+  in
+  let roles =
+    [| Engine.Faulty f; Engine.Honest (fst (logger [])); Engine.Honest (fst (logger [])) |]
+  in
+  check "raises" true
+    (match Engine.run topo ~model:Engine.Point_to_point ~rounds:2 ~roles with
+    | _ -> false
+    | exception Engine.Model_violation _ -> true)
+
+let test_directed_topology () =
+  (* 0 -> 1 only: 1 hears 0 but not vice versa. *)
+  let topo =
+    Engine.topology_directed ~n:2 ~out:(function 0 -> [ 1 ] | _ -> [])
+  in
+  let p0, _ = logger [ (0, [ "fwd" ]) ] in
+  let p1, _ = logger [ (0, [ "bwd" ]) ] in
+  let roles = [| Engine.Honest p0; Engine.Honest p1 |] in
+  let r = Engine.run topo ~model:Engine.Local_broadcast ~rounds:2 ~roles in
+  let log0 = Option.get r.Engine.outputs.(0) in
+  let log1 = Option.get r.Engine.outputs.(1) in
+  check "1 hears 0" true (List.assoc 1 log1 = [ (0, "fwd") ]);
+  check "0 does not hear 1" true (List.assoc 1 log0 = [])
+
+let test_stats_and_transcript () =
+  let g = B.cycle 4 in
+  let topo = Engine.topology_of_graph g in
+  let roles =
+    Array.init 4 (fun v -> Engine.Honest (fst (logger [ (0, [ string_of_int v ]) ])))
+  in
+  let r =
+    Engine.run ~record:true topo ~model:Engine.Local_broadcast ~rounds:2 ~roles
+  in
+  check_int "4 transmissions" 4 r.Engine.stats.Engine.transmissions;
+  check_int "8 deliveries" 8 r.Engine.stats.Engine.deliveries;
+  check_int "2 rounds" 2 r.Engine.stats.Engine.rounds;
+  check_int "transcript entries" 4 (List.length r.Engine.transcript);
+  check "chronological senders" true
+    (List.map (fun (_, s, _) -> s) r.Engine.transcript = [ 0; 1; 2; 3 ])
+
+let test_zero_rounds () =
+  let topo = Engine.topology_of_graph (B.cycle 3) in
+  let roles = Array.init 3 (fun _ -> Engine.Honest (fst (logger [ (0, [ "x" ]) ]))) in
+  let r = Engine.run topo ~model:Engine.Local_broadcast ~rounds:0 ~roles in
+  check_int "no transmissions" 0 r.Engine.stats.Engine.transmissions;
+  check_int "no rounds" 0 r.Engine.stats.Engine.rounds
+
+let test_transcript_off_by_default () =
+  let topo = Engine.topology_of_graph (B.cycle 3) in
+  let roles = Array.init 3 (fun _ -> Engine.Honest (fst (logger [ (0, [ "x" ]) ]))) in
+  let r = Engine.run topo ~model:Engine.Local_broadcast ~rounds:1 ~roles in
+  check "empty transcript" true (r.Engine.transcript = []);
+  check_int "but stats counted" 3 r.Engine.stats.Engine.transmissions
+
+let test_last_round_transmissions_not_delivered () =
+  (* Messages sent in the final round are counted but never delivered —
+     the boundary behaviour the flooding phase budgets account for. *)
+  let g = B.path_graph 2 in
+  let topo = Engine.topology_of_graph g in
+  let p0, _ = logger [ (0, [ "a" ]); (1, [ "b" ]) ] in
+  let p1, _ = logger [] in
+  let roles = [| Engine.Honest p0; Engine.Honest p1 |] in
+  let r = Engine.run topo ~model:Engine.Local_broadcast ~rounds:2 ~roles in
+  let log1 = Option.get r.Engine.outputs.(1) in
+  check "round-0 msg delivered" true (List.assoc 1 log1 = [ (0, "a") ]);
+  check "round-1 msg never processed" true (List.assoc_opt 2 log1 = None);
+  check_int "both counted" 2 r.Engine.stats.Engine.transmissions;
+  (* deliveries counts enqueued receptions; the final round's messages are
+     enqueued but no subsequent step consumes them *)
+  check_int "both enqueued" 2 r.Engine.stats.Engine.deliveries
+
+let test_role_length_mismatch () =
+  let topo = Engine.topology_of_graph (B.cycle 3) in
+  check "raises" true
+    (match
+       Engine.run topo ~model:Engine.Local_broadcast ~rounds:1
+         ~roles:[| Engine.Honest (fst (logger [])) |]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "broadcast delivery" `Quick test_broadcast_delivery;
+          Alcotest.test_case "inbox ordering" `Quick test_inbox_ordering;
+          Alcotest.test_case "identical reception" `Quick
+            test_local_broadcast_identical;
+          Alcotest.test_case "no unicast under LBC" `Quick
+            test_unicast_forbidden_lbc;
+          Alcotest.test_case "unicast under p2p" `Quick test_unicast_allowed_p2p;
+          Alcotest.test_case "hybrid enforcement" `Quick test_hybrid_enforcement;
+          Alcotest.test_case "unicast needs link" `Quick test_unicast_needs_link;
+          Alcotest.test_case "directed topology" `Quick test_directed_topology;
+          Alcotest.test_case "stats and transcript" `Quick
+            test_stats_and_transcript;
+          Alcotest.test_case "roles length" `Quick test_role_length_mismatch;
+          Alcotest.test_case "zero rounds" `Quick test_zero_rounds;
+          Alcotest.test_case "transcript off by default" `Quick
+            test_transcript_off_by_default;
+          Alcotest.test_case "last round boundary" `Quick
+            test_last_round_transmissions_not_delivered;
+        ] );
+    ]

@@ -1,0 +1,103 @@
+(* Tests for Bit and the Spec predicates. *)
+
+module Bit = Lbc_consensus.Bit
+module Spec = Lbc_consensus.Spec
+module Nodeset = Lbc_graph.Nodeset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_bit_basics () =
+  check "flip" true (Bit.flip Bit.Zero = Bit.One);
+  check "double flip" true (Bit.flip (Bit.flip Bit.One) = Bit.One);
+  check_int "to_int" 1 (Bit.to_int Bit.One);
+  check "of_int" true (Bit.of_int 0 = Bit.Zero);
+  check "of_int rejects" true
+    (match Bit.of_int 2 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check "of_bool" true (Bit.of_bool true = Bit.One);
+  check "default is one" true (Bit.default = Bit.One);
+  check "compare" true (Bit.compare Bit.Zero Bit.One < 0)
+
+let test_bit_majority () =
+  check "majority ones" true (Bit.majority [ Bit.One; Bit.One; Bit.Zero ] = Bit.One);
+  check "majority zeros" true
+    (Bit.majority [ Bit.Zero; Bit.One; Bit.Zero ] = Bit.Zero);
+  (* ties and the empty list resolve to Zero, per Algorithm 2 phase 3 *)
+  check "tie to zero" true (Bit.majority [ Bit.One; Bit.Zero ] = Bit.Zero);
+  check "empty to zero" true (Bit.majority [] = Bit.Zero)
+
+let mk ?(faulty = Nodeset.empty) outputs inputs =
+  {
+    Spec.outputs;
+    faulty;
+    inputs;
+    rounds = 1;
+    phases = 1;
+    transmissions = 0;
+    deliveries = 0;
+  }
+
+let test_agreement () =
+  let one = Some Bit.One in
+  check "all equal" true
+    (Spec.agreement (mk [| one; one; one |] (Array.make 3 Bit.One)));
+  check "mismatch" false
+    (Spec.agreement
+       (mk [| one; Some Bit.Zero; one |] (Array.make 3 Bit.One)));
+  (* missing honest output = no termination = no agreement *)
+  check "missing output" false
+    (Spec.agreement (mk [| one; None; one |] (Array.make 3 Bit.One)));
+  (* a faulty node's output is ignored *)
+  check "faulty ignored" true
+    (Spec.agreement
+       (mk ~faulty:(Nodeset.singleton 1) [| one; None; one |]
+          (Array.make 3 Bit.One)))
+
+let test_validity () =
+  let one = Some Bit.One and zero = Some Bit.Zero in
+  (* unanimous honest inputs: output must match *)
+  check "unanimous ok" true
+    (Spec.validity (mk [| one; one |] [| Bit.One; Bit.One |]));
+  check "unanimous violated" false
+    (Spec.validity (mk [| zero; zero |] [| Bit.One; Bit.One |]));
+  (* mixed inputs: any binary output is some honest input *)
+  check "mixed ok" true
+    (Spec.validity (mk [| zero; zero |] [| Bit.One; Bit.Zero |]));
+  (* the faulty node's input must not legitimise an output *)
+  check "faulty input does not count" false
+    (Spec.validity
+       (mk ~faulty:(Nodeset.singleton 0) [| None; one; one |]
+          [| Bit.One; Bit.Zero; Bit.Zero |]))
+
+let test_decision () =
+  let one = Some Bit.One in
+  check "common decision" true
+    (Spec.decision (mk [| one; one |] (Array.make 2 Bit.One)) = Some Bit.One);
+  check "no decision on split" true
+    (Spec.decision (mk [| one; Some Bit.Zero |] (Array.make 2 Bit.One)) = None)
+
+let test_consensus_ok () =
+  let one = Some Bit.One in
+  check "both hold" true
+    (Spec.consensus_ok (mk [| one; one |] [| Bit.One; Bit.Zero |]));
+  check "validity fails" false
+    (Spec.consensus_ok (mk [| one; one |] (Array.make 2 Bit.Zero)))
+
+let () =
+  Alcotest.run "spec"
+    [
+      ( "bit",
+        [
+          Alcotest.test_case "basics" `Quick test_bit_basics;
+          Alcotest.test_case "majority" `Quick test_bit_majority;
+        ] );
+      ( "predicates",
+        [
+          Alcotest.test_case "agreement" `Quick test_agreement;
+          Alcotest.test_case "validity" `Quick test_validity;
+          Alcotest.test_case "decision" `Quick test_decision;
+          Alcotest.test_case "consensus_ok" `Quick test_consensus_ok;
+        ] );
+    ]
