@@ -8,8 +8,14 @@
    EXPERIMENTS.md), then times the core operations with Bechamel
    (B1-B6).
 
+   The exhaustive sweeps (E1, E2, E5, E8) are expressed as declarative
+   campaign grids (lib/campaign) and execute on an OCaml 5 domain pool;
+   pass --domains N to parallelise them. Their aggregate results are
+   byte-identical at any domain count.
+
    Run with:  dune exec bench/main.exe            (full, ~ minutes)
-              dune exec bench/main.exe -- --quick (reduced sweeps)       *)
+              dune exec bench/main.exe -- --quick (reduced sweeps)
+              dune exec bench/main.exe -- --domains 4                    *)
 
 module B = Lbc_graph.Builders
 module G = Lbc_graph.Graph
@@ -29,6 +35,14 @@ module Gadget = Lbc_lowerbound.Gadget
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 
+let domains =
+  let rec scan = function
+    | "--domains" :: v :: _ -> Option.value ~default:1 (int_of_string_opt v)
+    | _ :: rest -> scan rest
+    | [] -> 1
+  in
+  scan (Array.to_list Sys.argv)
+
 let header id title =
   Printf.printf "\n%s\n %s  %s\n%s\n" (String.make 78 '=') id title
     (String.make 78 '=')
@@ -39,45 +53,60 @@ let kind_name k = Format.asprintf "%a" S.pp_kind k
 (* E1 / E2: sufficiency on the paper's Figure 1 graphs                  *)
 (* ------------------------------------------------------------------ *)
 
-let sweep_algorithm name run_fn g ~f ~placements ~kinds =
-  Printf.printf "  %-28s %8s %8s %10s %12s\n" "strategy" "runs" "ok" "rounds"
-    "msgs";
-  let grand_runs = ref 0 and grand_ok = ref 0 in
+module Campaign = Lbc_campaign
+
+(* Execute a grid on the domain pool; verdicts come back ordered by
+   scenario index, i.e. aligned with [Grid.to_array]. *)
+let run_campaign grid =
+  let config =
+    {
+      Campaign.Runner.domains;
+      base_seed = 0;
+      shard_size = 16;
+      checkpoint = None;
+      stop_after = None;
+      progress = None;
+    }
+  in
+  let scenarios = Campaign.Grid.to_array grid in
+  (scenarios, Campaign.Runner.run_exn ~config grid)
+
+(* Aggregate verdicts per (algorithm, strategy) in first-seen order —
+   the classic sweep table, now derived from a campaign artifact. *)
+let campaign_table scenarios (a : Campaign.Artifact.t) =
+  Printf.printf "  %-6s %-28s %8s %8s %10s %12s\n" "algo" "strategy" "runs"
+    "ok" "rounds" "msgs";
+  let keys = ref [] in
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (s : Campaign.Scenario.t) ->
+      let v = a.Campaign.Artifact.verdicts.(i) in
+      let key =
+        ( Campaign.Scenario.algo_name s.Campaign.Scenario.algo,
+          kind_name s.Campaign.Scenario.strategy )
+      in
+      (if not (Hashtbl.mem tbl key) then begin
+         keys := key :: !keys;
+         Hashtbl.add tbl key (ref 0, ref 0, ref 0, ref 0)
+       end);
+      let runs, ok, rounds, msgs = Hashtbl.find tbl key in
+      incr runs;
+      if v.Campaign.Scenario.ok then incr ok;
+      rounds := v.Campaign.Scenario.rounds;
+      msgs := !msgs + v.Campaign.Scenario.transmissions)
+    scenarios;
   List.iter
-    (fun kind ->
-      let runs = ref 0 and ok = ref 0 in
-      let rounds = ref 0 and msgs = ref 0 in
-      List.iter
-        (fun faulty ->
-          List.iter
-            (fun uni ->
-              let n = G.size g in
-              let inputs = Array.make n uni in
-              Nodeset.iter (fun u -> inputs.(u) <- Bit.flip uni) faulty;
-              let o = run_fn ~g ~f ~inputs ~faulty ~kind in
-              incr runs;
-              rounds := o.Spec.rounds;
-              msgs := !msgs + o.Spec.transmissions;
-              if
-                Spec.agreement o && Spec.validity o
-                && Spec.decision o = Some uni
-              then incr ok)
-            [ Bit.Zero; Bit.One ])
-        placements;
-      grand_runs := !grand_runs + !runs;
-      grand_ok := !grand_ok + !ok;
-      Printf.printf "  %-28s %8d %8d %10d %12d\n" (kind_name kind) !runs !ok
+    (fun ((algo, strat) as key) ->
+      let runs, ok, rounds, msgs = Hashtbl.find tbl key in
+      Printf.printf "  %-6s %-28s %8d %8d %10d %12d\n" algo strat !runs !ok
         !rounds
         (!msgs / max 1 !runs))
-    kinds;
-  Printf.printf "  -> %s: %d/%d runs reached the unanimous honest decision\n"
-    name !grand_ok !grand_runs
-
-let run_a1 ~g ~f ~inputs ~faulty ~kind =
-  A1.run ~g ~f ~inputs ~faulty ~strategy:(fun _ -> kind) ()
-
-let run_a2 ~g ~f ~inputs ~faulty ~kind =
-  A2.run ~g ~f ~inputs ~faulty ~strategy:(fun _ -> kind) ()
+    (List.rev !keys);
+  let s = Campaign.Artifact.summarize a in
+  Printf.printf
+    "  -> %d/%d scenarios ok; campaign wall %.3f s on %d domain(s)\n"
+    s.Campaign.Artifact.ok s.Campaign.Artifact.total
+    a.Campaign.Artifact.run.Campaign.Artifact.wall_s domains
 
 let e1 () =
   header "E1" "Figure 1(a): the 5-cycle, f = 1 (Theorem 5.1 sufficiency)";
@@ -87,12 +116,19 @@ let e1 () =
     \  point-to-point would need connectivity 3 and n >= 4 honest quorum: \
      infeasible here.\n\n"
     (G.min_degree g) (D.connectivity g);
-  let placements = List.map Nodeset.singleton [ 0; 1; 2; 3; 4 ] in
-  let kinds = if quick then [ S.Flip_forwards; S.Lie ] else S.kinds_lbc in
-  Printf.printf "  Algorithm 1 (%d phases x 5 rounds):\n" (A1.phases ~g ~f:1);
-  sweep_algorithm "Algorithm 1" run_a1 g ~f:1 ~placements ~kinds;
-  Printf.printf "\n  Algorithm 2 (2f-connected fast path, 3n rounds):\n";
-  sweep_algorithm "Algorithm 2" run_a2 g ~f:1 ~placements ~kinds
+  Printf.printf
+    "  campaign grid: {A1 (%d phases x 5 rounds), A2} x 5 placements x %s \
+     strategies x %s:\n"
+    (A1.phases ~g ~f:1)
+    (if quick then "2" else "11")
+    (if quick then "unanimous inputs" else "all 32 input vectors");
+  let scenarios, a =
+    run_campaign
+      (Campaign.Grids.e1
+         ~inputs:(if quick then `Unanimous else `All)
+         ~quick ())
+  in
+  campaign_table scenarios a
 
 let e2 () =
   header "E2" "Figure 1(b): 8-node 4-regular graph, f = 2";
@@ -100,36 +136,14 @@ let e2 () =
   Printf.printf
     "  C8(1,2): min degree %d >= 2f = 4; connectivity %d >= floor(3f/2)+1 = 4\n\n"
     (G.min_degree g) (D.connectivity g);
-  let placements =
-    List.map Nodeset.of_list
-      (if quick then [ [ 0; 1 ] ] else [ [ 0; 1 ]; [ 0; 4 ]; [ 2; 6 ] ])
-  in
-  let kinds = [ S.Flip_forwards; S.Lie ] in
-  Printf.printf "  Algorithm 1 (%d phases x 8 rounds):\n" (A1.phases ~g ~f:2);
-  sweep_algorithm "Algorithm 1" run_a1 g ~f:2 ~placements ~kinds;
-  Printf.printf "\n  Algorithm 2:\n";
-  sweep_algorithm "Algorithm 2" run_a2 g ~f:2 ~placements ~kinds;
-  if not quick then begin
-    (* Exhaustive fault-pair sweep for the flagship f = 2 instance: all
-       C(8,2) = 28 placements, the strongest strategy mix. *)
-    Printf.printf
-      "\n  Algorithm 2, exhaustive: all 28 fault pairs x 4 strategies:\n";
-    let all_pairs =
-      List.concat_map
-        (fun i ->
-          List.filter_map
-            (fun j -> if i < j then Some (Nodeset.of_list [ i; j ]) else None)
-            (G.nodes g))
-        (G.nodes g)
-    in
-    sweep_algorithm "Algorithm 2 (exhaustive)" run_a2 g ~f:2
-      ~placements:all_pairs
-      ~kinds:
-        [
-          S.Flip_forwards; S.Silent; S.Omit_from (Nodeset.of_list [ 2; 3 ]);
-          S.Noise 2;
-        ]
-  end
+  Printf.printf
+    "  campaign grid: representative A1+A2 sweep (%d phases x 8 rounds for \
+     A1)%s:\n"
+    (A1.phases ~g ~f:2)
+    (if quick then ""
+     else " + exhaustive A2 over all 28 fault pairs x 4 strategies");
+  let scenarios, a = run_campaign (Campaign.Grids.e2 ~quick ()) in
+  campaign_table scenarios a
 
 (* ------------------------------------------------------------------ *)
 (* E3 / E4: necessity gadgets                                           *)
@@ -181,20 +195,16 @@ let e5 () =
   Printf.printf "  %-8s %-8s %10s %10s %12s %8s\n" "n" "f" "rounds" "3n+1"
     "msgs" "ok";
   let sizes = if quick then [ 5; 9; 13 ] else [ 5; 7; 9; 11; 13; 15; 17 ] in
-  List.iter
-    (fun n ->
-      let g = B.cycle n in
-      let inputs = Array.make n Bit.One in
-      inputs.(n / 2) <- Bit.Zero;
-      let o =
-        A2.run ~g ~f:1 ~inputs ~faulty:(Nodeset.singleton (n / 2))
-          ~strategy:(fun _ -> S.Flip_forwards) ()
-      in
-      Printf.printf "  %-8d %-8d %10d %10d %12d %8b\n" n 1 o.Spec.rounds
+  let scenarios, a = run_campaign (Campaign.Grids.e5 ~sizes ()) in
+  Array.iteri
+    (fun i (s : Campaign.Scenario.t) ->
+      let v = a.Campaign.Artifact.verdicts.(i) in
+      let n = Array.length s.Campaign.Scenario.inputs in
+      Printf.printf "  %-8d %-8d %10d %10d %12d %8b\n" n s.Campaign.Scenario.f
+        v.Campaign.Scenario.rounds
         ((3 * n) + 1)
-        o.Spec.transmissions
-        (Spec.agreement o && Spec.validity o))
-    sizes
+        v.Campaign.Scenario.transmissions v.Campaign.Scenario.ok)
+    scenarios
 
 (* ------------------------------------------------------------------ *)
 (* E6: hybrid sufficiency                                               *)
@@ -342,33 +352,21 @@ let e8 () =
         (3 * n)
         ((f + 1) * n))
     [ (8, 1); (8, 2); (8, 3); (16, 2); (16, 4); (32, 4); (32, 8) ];
-  Printf.printf "\n  Measured on Figure 1 graphs (one flip-forwards fault):\n";
+  Printf.printf
+    "\n  Measured via the e8 campaign grid (faults per grid definition):\n";
   Printf.printf "  %-26s %10s %10s %14s\n" "algorithm/graph" "rounds" "phases"
     "msgs";
-  let measure name o =
-    Printf.printf "  %-26s %10d %10d %14d\n" name o.Spec.rounds o.Spec.phases
-      o.Spec.transmissions
-  in
-  let g1 = B.fig1a () in
-  let inputs1 = Array.make 5 Bit.One in
-  measure "A1 / cycle5 f=1"
-    (A1.run ~g:g1 ~f:1 ~inputs:inputs1 ~faulty:(Nodeset.singleton 2) ());
-  measure "A2 / cycle5 f=1"
-    (A2.run ~g:g1 ~f:1 ~inputs:inputs1 ~faulty:(Nodeset.singleton 2) ());
-  if not quick then begin
-    let g2 = B.fig1b () in
-    let inputs2 = Array.make 8 Bit.One in
-    measure "A1 / fig1b f=2"
-      (A1.run ~g:g2 ~f:2 ~inputs:inputs2 ~faulty:(Nodeset.of_list [ 0; 4 ]) ());
-    measure "A2 / fig1b f=2"
-      (A2.run ~g:g2 ~f:2 ~inputs:inputs2 ~faulty:(Nodeset.of_list [ 0; 4 ]) ());
-    let g3 = B.wheel 7 in
-    let inputs3 = Array.make 7 Bit.One in
-    measure "relay-EIG / wheel7 f=1"
-      (Relay.run ~g:g3 ~f:1 ~inputs:inputs3 ~faulty:(Nodeset.singleton 3) ());
-    measure "EIG / K7 f=2"
-      (EIG.run ~n:7 ~f:2 ~inputs:inputs3 ~faulty:(Nodeset.of_list [ 1; 4 ]) ())
-  end
+  let scenarios, a = run_campaign (Campaign.Grids.e8 ~quick ()) in
+  Array.iteri
+    (fun i (s : Campaign.Scenario.t) ->
+      let v = a.Campaign.Artifact.verdicts.(i) in
+      Printf.printf "  %-26s %10d %10d %14d\n"
+        (Printf.sprintf "%s / %s f=%d"
+           (Campaign.Scenario.algo_name s.Campaign.Scenario.algo)
+           s.Campaign.Scenario.gname s.Campaign.Scenario.f)
+        v.Campaign.Scenario.rounds v.Campaign.Scenario.phases
+        v.Campaign.Scenario.transmissions)
+    scenarios
 
 (* E8b: stabilisation ablation — when does Algorithm 1 settle? The proof
    only guarantees agreement from the decisive phase (F ⊇ faults) on, but

@@ -2,11 +2,14 @@
    consensus library (Khan-Naqvi-Vaidya, PODC 2019 reproduction).
 
    Subcommands:
-     check   - evaluate the feasibility conditions of all three models
-     gen     - emit a built-in graph (edge list or Graphviz)
-     run     - simulate a consensus algorithm under an adversary
-     attack  - execute a necessity gadget (Lemma A.1 / A.2)
-     sweep   - print the hybrid equivocation trade-off tables            *)
+     check    - evaluate the feasibility conditions of all three models
+     gen      - emit a built-in graph (edge list or Graphviz)
+     run      - simulate a consensus algorithm under an adversary
+     attack   - execute a necessity gadget (Lemma A.1 / A.2)
+     sweep    - print the hybrid equivocation trade-off tables
+     campaign - run a declarative scenario grid on a domain pool,
+                checkpointed and resumable, emitting a JSON artifact
+     report   - parse a campaign artifact, print its summary             *)
 
 module B = Lbc_graph.Builders
 module G = Lbc_graph.Graph
@@ -132,6 +135,10 @@ let parse_strategy s =
       match parse_id_list ids with
       | Some set -> Ok (S.Omit_from set)
       | None -> Error (`Msg "bad node list"))
+  | [ "flip-from"; ids ] -> (
+      match parse_id_list ids with
+      | Some set -> Ok (S.Flip_from set)
+      | None -> Error (`Msg "bad node list"))
   | [ "omit-sampled"; k ] -> (
       match int_of_string_opt k with
       | Some k -> Ok (S.Omit_sampled k)
@@ -141,7 +148,8 @@ let parse_strategy s =
         (`Msg
           (s
          ^ ": unknown strategy (silent, honest, lie, flip, equivocate, \
-            crash:R, spurious:K, noise:K, omit:IDS, omit-sampled:K)"))
+            crash:R, spurious:K, noise:K, omit:IDS, flip-from:IDS, \
+            omit-sampled:K)"))
 
 let strategy_conv = Cmdliner.Arg.conv (parse_strategy, S.pp_kind)
 
@@ -412,6 +420,143 @@ let do_fuzz g algo f t runs seed =
   if r.Fuzz.violations = [] then 0 else 1
 
 (* ------------------------------------------------------------------ *)
+(* campaign / report                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Campaign = Lbc_campaign
+
+let custom_grid spec f algo =
+  let build () =
+    match parse_graph spec with
+    | Ok g -> g
+    | Error (`Msg m) ->
+        Printf.eprintf "%s\n" m;
+        exit 2
+  in
+  let algos =
+    match algo with
+    | "a1" -> [ Campaign.Scenario.A1 ]
+    | "a2" -> [ Campaign.Scenario.A2 ]
+    | "both" -> [ Campaign.Scenario.A1; Campaign.Scenario.A2 ]
+    | other ->
+        Printf.eprintf "unknown campaign algorithm %s (a1, a2, both)\n" other;
+        exit 2
+  in
+  Campaign.Grid.product ~name:"custom"
+    ~graphs:[ (spec, f, build) ]
+    ~algos ~placements:Campaign.Grid.placements_up_to_f
+    ~strategies:S.kinds_lbc ~inputs:Campaign.Grid.unanimous_inputs
+
+let do_campaign exp gspec algo f quick domains seed shard_size out max_shards =
+  let grid =
+    match (exp, gspec) with
+    | Some name, _ -> (
+        match Campaign.Grids.by_name ~quick name with
+        | Some grid -> grid
+        | None ->
+            Printf.eprintf "unknown experiment %s (try %s)\n" name
+              (String.concat ", " Campaign.Grids.names);
+            exit 2)
+    | None, Some spec -> custom_grid spec f algo
+    | None, None ->
+        Printf.eprintf "campaign needs --exp NAME or -g GRAPH\n";
+        exit 2
+  in
+  let out =
+    match out with
+    | Some path -> path
+    | None -> Printf.sprintf "campaign-%s.json" grid.Campaign.Grid.name
+  in
+  let config =
+    {
+      Campaign.Runner.domains;
+      base_seed = seed;
+      shard_size;
+      checkpoint = Some (out ^ ".progress");
+      stop_after = max_shards;
+      progress =
+        Some
+          (fun ~done_shards ~total_shards ->
+            Printf.eprintf "\r  shard %d/%d%!" done_shards total_shards);
+    }
+  in
+  match Campaign.Runner.run ~config grid with
+  | Campaign.Runner.Partial { completed; total } ->
+      Printf.eprintf "\n";
+      Printf.printf
+        "campaign %s interrupted at %d/%d shards; progress saved to %s — \
+         re-run the same command to resume\n"
+        grid.Campaign.Grid.name completed total (out ^ ".progress");
+      0
+  | Campaign.Runner.Complete artifact ->
+      Printf.eprintf "\n";
+      Campaign.Artifact.save ~path:out artifact;
+      let s = Campaign.Artifact.summarize artifact in
+      Printf.printf "campaign   : %s (%d scenarios, %d shards of %d)\n"
+        artifact.Campaign.Artifact.campaign s.Campaign.Artifact.total
+        ((s.Campaign.Artifact.total + shard_size - 1) / shard_size)
+        shard_size;
+      Printf.printf "domains    : %d  (resumed shards: %d)\n" domains
+        artifact.Campaign.Artifact.run.Campaign.Artifact.resumed_shards;
+      Printf.printf "wall       : %.3f s\n"
+        artifact.Campaign.Artifact.run.Campaign.Artifact.wall_s;
+      Printf.printf "summary    : %s\n"
+        (Format.asprintf "%a" Campaign.Artifact.pp_summary s);
+      Printf.printf "artifact   : %s\n" out;
+      if s.Campaign.Artifact.violations > 0 then begin
+        Printf.printf "violations:\n";
+        let shown = ref 0 in
+        Array.iter
+          (fun (v : Campaign.Scenario.verdict) ->
+            if (not v.Campaign.Scenario.ok) && !shown < 10 then begin
+              incr shown;
+              Printf.printf "  %s\n"
+                (Format.asprintf "%a" Campaign.Scenario.pp_verdict v)
+            end)
+          artifact.Campaign.Artifact.verdicts;
+        1
+      end
+      else 0
+
+let do_report path fingerprint =
+  match Campaign.Artifact.load ~path with
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      2
+  | Ok artifact ->
+      if fingerprint then begin
+        (* Digest of the deterministic portion (everything but timing):
+           identical across domain counts and resume boundaries. *)
+        print_endline
+          (Digest.to_hex
+             (Digest.string (Campaign.Artifact.deterministic_string artifact)));
+        0
+      end
+      else begin
+        let s = Campaign.Artifact.summarize artifact in
+        Printf.printf "campaign   : %s\n" artifact.Campaign.Artifact.campaign;
+        Printf.printf "grid       : %d scenarios, shard size %d, seed %d, \
+                       fingerprint %s\n"
+          artifact.Campaign.Artifact.count
+          artifact.Campaign.Artifact.shard_size
+          artifact.Campaign.Artifact.base_seed
+          artifact.Campaign.Artifact.grid_fingerprint;
+        Printf.printf "run        : %d domains, %.3f s wall, %d resumed shards\n"
+          artifact.Campaign.Artifact.run.Campaign.Artifact.domains
+          artifact.Campaign.Artifact.run.Campaign.Artifact.wall_s
+          artifact.Campaign.Artifact.run.Campaign.Artifact.resumed_shards;
+        Printf.printf "summary    : %s\n"
+          (Format.asprintf "%a" Campaign.Artifact.pp_summary s);
+        Array.iter
+          (fun (v : Campaign.Scenario.verdict) ->
+            if not v.Campaign.Scenario.ok then
+              Printf.printf "  %s\n"
+                (Format.asprintf "%a" Campaign.Scenario.pp_verdict v))
+          artifact.Campaign.Artifact.verdicts;
+        if s.Campaign.Artifact.violations > 0 then 1 else 0
+      end
+
+(* ------------------------------------------------------------------ *)
 (* sweep                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -588,6 +733,107 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Print the hybrid equivocation trade-off table.")
     Term.(const do_sweep $ fmax)
 
+let campaign_cmd =
+  let exp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "exp"; "e" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Predefined experiment grid (%s)."
+               (String.concat ", " Lbc_campaign.Grids.names)))
+  in
+  let gspec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "g"; "graph" ] ~docv:"GRAPH"
+          ~doc:
+            "Custom campaign: sweep this graph over all fault placements of \
+             size <= F, every broadcast-bound strategy and both unanimous \
+             input polarities.")
+  in
+  let algo =
+    Arg.(
+      value & opt string "both"
+      & info [ "algo"; "a" ] ~docv:"ALGO"
+          ~doc:"Custom-campaign algorithm: a1, a2 or both.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweep axes.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains. The result artifact is byte-identical (modulo \
+             its timing section) at any domain count.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Campaign base seed; folded with each scenario id into that \
+             scenario's RNG seed, so randomised adversaries are \
+             reproducible per scenario.")
+  in
+  let shard_size =
+    Arg.(
+      value & opt int 16
+      & info [ "shard-size" ] ~docv:"N"
+          ~doc:"Scenarios per shard (the checkpointing granule).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Artifact path (default campaign-NAME.json).")
+  in
+  let max_shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-shards" ] ~docv:"N"
+          ~doc:
+            "Stop after completing N new shards, leaving the checkpoint for \
+             a later resume.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run an experiment campaign (a deterministic scenario grid) on an \
+          OCaml 5 domain pool, with periodic checkpointing and automatic \
+          resume, and write a versioned JSON results artifact.")
+    Term.(
+      const do_campaign $ exp $ gspec $ algo $ f_arg $ quick $ domains $ seed
+      $ shard_size $ out $ max_shards)
+
+let report_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ARTIFACT" ~doc:"Campaign artifact to inspect.")
+  in
+  let fingerprint =
+    Arg.(
+      value & flag
+      & info [ "fingerprint" ]
+          ~doc:
+            "Print only the digest of the artifact's deterministic portion \
+             (everything except the timing section).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Parse a campaign artifact, print its summary and any violations; \
+          exits non-zero when the artifact fails to parse or records \
+          violations.")
+    Term.(const do_report $ path $ fingerprint)
+
 let () =
   let doc = "Byzantine consensus under the local broadcast model (PODC'19)." in
   exit
@@ -595,5 +841,5 @@ let () =
        (Cmd.group (Cmd.info "lbcast" ~version:"1.0.0" ~doc)
           [
             check_cmd; gen_cmd; run_cmd; attack_cmd; forensics_cmd;
-            predict_cmd; fuzz_cmd; sweep_cmd;
+            predict_cmd; fuzz_cmd; sweep_cmd; campaign_cmd; report_cmd;
           ]))

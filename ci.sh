@@ -1,0 +1,26 @@
+#!/bin/sh
+# CI entry point: build, run the full test suite, then a smoke campaign
+# exercising the lib/campaign subsystem end-to-end — a 2-domain run over
+# the 5-cycle E1 grid whose artifact must parse and record zero
+# violations (`lbcast report` exits non-zero otherwise).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== smoke campaign (2 domains) =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+dune exec bin/lbcast.exe -- campaign --exp smoke --domains 2 \
+  --out "$tmp/smoke.json"
+
+echo "== verify artifact =="
+dune exec bin/lbcast.exe -- report "$tmp/smoke.json"
+
+echo "CI OK"

@@ -1,0 +1,215 @@
+type run_info = {
+  domains : int;
+  wall_s : float;
+  shard_wall_s : (int * float) list;
+  resumed_shards : int;
+}
+
+type t = {
+  campaign : string;
+  count : int;
+  shard_size : int;
+  base_seed : int;
+  grid_fingerprint : string;
+  verdicts : Scenario.verdict array;
+  run : run_info;
+}
+
+let version = 1
+let format_tag = Printf.sprintf "lbc-campaign/%d" version
+
+type summary = {
+  total : int;
+  ok : int;
+  violations : int;
+  agreement_failures : int;
+  validity_failures : int;
+  termination_failures : int;
+  decision_mismatches : int;
+  rounds_max : int;
+  transmissions_total : int;
+}
+
+let summarize t =
+  let s =
+    ref
+      {
+        total = Array.length t.verdicts;
+        ok = 0;
+        violations = 0;
+        agreement_failures = 0;
+        validity_failures = 0;
+        termination_failures = 0;
+        decision_mismatches = 0;
+        rounds_max = 0;
+        transmissions_total = 0;
+      }
+  in
+  Array.iter
+    (fun (v : Scenario.verdict) ->
+      let c = !s in
+      s :=
+        {
+          c with
+          ok = (c.ok + if v.Scenario.ok then 1 else 0);
+          agreement_failures =
+            (c.agreement_failures + if v.Scenario.agreement then 0 else 1);
+          validity_failures =
+            (c.validity_failures + if v.Scenario.validity then 0 else 1);
+          termination_failures =
+            (c.termination_failures + if v.Scenario.termination then 0 else 1);
+          decision_mismatches =
+            (c.decision_mismatches
+            +
+            match (v.Scenario.expected, v.Scenario.decision) with
+            | Some e, Some d when not (Lbc_consensus.Bit.equal e d) -> 1
+            | Some _, None -> 1
+            | _ -> 0);
+          rounds_max = max c.rounds_max v.Scenario.rounds;
+          transmissions_total = c.transmissions_total + v.Scenario.transmissions;
+        })
+    t.verdicts;
+  { !s with violations = !s.total - !s.ok }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "%d scenarios, %d ok, %d violations (agreement %d, validity %d, \
+     termination %d, decision %d); max rounds %d, %d transmissions"
+    s.total s.ok s.violations s.agreement_failures s.validity_failures
+    s.termination_failures s.decision_mismatches s.rounds_max
+    s.transmissions_total
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let grid_fields t =
+  [
+    ("format", Jsonio.Str format_tag);
+    ("campaign", Jsonio.Str t.campaign);
+    ( "grid",
+      Jsonio.Obj
+        [
+          ("count", Jsonio.Int t.count);
+          ("shard_size", Jsonio.Int t.shard_size);
+          ("base_seed", Jsonio.Int t.base_seed);
+          ("fingerprint", Jsonio.Str t.grid_fingerprint);
+        ] );
+    ( "verdicts",
+      Jsonio.List
+        (Array.to_list (Array.map Scenario.verdict_to_json t.verdicts)) );
+    ( "summary",
+      let s = summarize t in
+      Jsonio.Obj
+        [
+          ("total", Jsonio.Int s.total);
+          ("ok", Jsonio.Int s.ok);
+          ("violations", Jsonio.Int s.violations);
+          ("agreement_failures", Jsonio.Int s.agreement_failures);
+          ("validity_failures", Jsonio.Int s.validity_failures);
+          ("termination_failures", Jsonio.Int s.termination_failures);
+          ("decision_mismatches", Jsonio.Int s.decision_mismatches);
+          ("rounds_max", Jsonio.Int s.rounds_max);
+          ("transmissions_total", Jsonio.Int s.transmissions_total);
+        ] );
+  ]
+
+let run_field t =
+  ( "run",
+    Jsonio.Obj
+      [
+        ("domains", Jsonio.Int t.run.domains);
+        ("wall_s", Jsonio.Float t.run.wall_s);
+        ( "shard_wall_s",
+          Jsonio.List
+            (List.map
+               (fun (i, w) ->
+                 Jsonio.Obj [ ("shard", Jsonio.Int i); ("s", Jsonio.Float w) ])
+               t.run.shard_wall_s) );
+        ("resumed_shards", Jsonio.Int t.run.resumed_shards);
+      ] )
+
+let to_string t = Jsonio.to_string (Jsonio.Obj (grid_fields t @ [ run_field t ]))
+let deterministic_string t = Jsonio.to_string (Jsonio.Obj (grid_fields t))
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let* j = Jsonio.of_string s in
+  let req name conv =
+    match Option.bind (Jsonio.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "artifact: missing or malformed %S" name)
+  in
+  let* fmt = req "format" Jsonio.to_str in
+  if fmt <> format_tag then
+    Error (Printf.sprintf "artifact: format %S, expected %S" fmt format_tag)
+  else
+    let* campaign = req "campaign" Jsonio.to_str in
+    let* grid =
+      match Jsonio.member "grid" j with
+      | Some g -> Ok g
+      | None -> Error "artifact: missing grid"
+    in
+    let gfield name conv =
+      match Option.bind (Jsonio.member name grid) conv with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "artifact: missing grid.%s" name)
+    in
+    let* count = gfield "count" Jsonio.to_int in
+    let* shard_size = gfield "shard_size" Jsonio.to_int in
+    let* base_seed = gfield "base_seed" Jsonio.to_int in
+    let* grid_fingerprint = gfield "fingerprint" Jsonio.to_str in
+    let* vjs = req "verdicts" Jsonio.to_list in
+    let* verdicts =
+      List.fold_left
+        (fun acc vj ->
+          let* acc = acc in
+          let* v = Scenario.verdict_of_json vj in
+          Ok (v :: acc))
+        (Ok []) vjs
+    in
+    let verdicts = Array.of_list (List.rev verdicts) in
+    let run =
+      match Jsonio.member "run" j with
+      | None ->
+          { domains = 0; wall_s = 0.0; shard_wall_s = []; resumed_shards = 0 }
+      | Some r ->
+          let geti name =
+            Option.value ~default:0 (Option.bind (Jsonio.member name r) Jsonio.to_int)
+          in
+          let getf name =
+            Option.value ~default:0.0
+              (Option.bind (Jsonio.member name r) Jsonio.to_float)
+          in
+          {
+            domains = geti "domains";
+            wall_s = getf "wall_s";
+            resumed_shards = geti "resumed_shards";
+            shard_wall_s =
+              (match Option.bind (Jsonio.member "shard_wall_s" r) Jsonio.to_list with
+              | None -> []
+              | Some entries ->
+                  List.filter_map
+                    (fun e ->
+                      match
+                        ( Option.bind (Jsonio.member "shard" e) Jsonio.to_int,
+                          Option.bind (Jsonio.member "s" e) Jsonio.to_float )
+                      with
+                      | Some i, Some w -> Some (i, w)
+                      | _ -> None)
+                    entries);
+          }
+    in
+    Ok
+      { campaign; count; shard_size; base_seed; grid_fingerprint; verdicts; run }
+
+let save ~path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  output_char oc '\n';
+  close_out oc
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,66 @@
+(** Versioned campaign result artifacts.
+
+    An artifact records the full outcome of a campaign: the grid identity
+    (name, scenario count, shard size, base seed, grid fingerprint), every
+    scenario verdict in enumeration order, and a [run] section with
+    wall-clock timing and the domain count.
+
+    Everything {e except} the [run] section is a pure function of the
+    grid and the base seed — {!deterministic_string} renders exactly that
+    part, and is byte-identical across domain counts, scheduling orders
+    and checkpoint/resume boundaries. The [run] section is where all
+    timing and environment variance lives, by construction. *)
+
+type run_info = {
+  domains : int;
+  wall_s : float;  (** wall-clock of the completing invocation *)
+  shard_wall_s : (int * float) list;
+      (** per-shard wall-clock, in shard order (resumed shards keep the
+          time recorded by the interrupted invocation) *)
+  resumed_shards : int;  (** shards skipped thanks to a checkpoint *)
+}
+
+type t = {
+  campaign : string;
+  count : int;
+  shard_size : int;
+  base_seed : int;
+  grid_fingerprint : string;
+  verdicts : Scenario.verdict array;  (** sorted by scenario index *)
+  run : run_info;
+}
+
+val version : int
+(** Artifact format version; serialized as ["lbc-campaign/<version>"]. *)
+
+type summary = {
+  total : int;
+  ok : int;
+  violations : int;  (** [total - ok] *)
+  agreement_failures : int;
+  validity_failures : int;
+  termination_failures : int;
+  decision_mismatches : int;
+      (** honest inputs unanimous but the decision differed *)
+  rounds_max : int;
+  transmissions_total : int;
+}
+
+val summarize : t -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+val to_string : t -> string
+(** Full JSON rendering, including the [run] section. *)
+
+val deterministic_string : t -> string
+(** JSON rendering of everything except the [run] section — the
+    byte-comparable portion. Two campaign runs over the same grid and
+    base seed produce identical [deterministic_string]s regardless of
+    domain count or interruption. *)
+
+val of_string : string -> (t, string) result
+(** Parse either rendering (a missing [run] section parses with zeroed
+    run info). Rejects artifacts with a different format version. *)
+
+val save : path:string -> t -> unit
+val load : path:string -> (t, string) result

@@ -1,0 +1,94 @@
+type header = {
+  campaign : string;
+  count : int;
+  shard_size : int;
+  base_seed : int;
+  fingerprint : string;
+}
+
+type entry = {
+  shard : int;
+  wall_s : float;
+  verdicts : Scenario.verdict array;
+}
+
+let header_json h =
+  Jsonio.Obj
+    [
+      ("format", Jsonio.Str "lbc-campaign-progress/1");
+      ("campaign", Jsonio.Str h.campaign);
+      ("count", Jsonio.Int h.count);
+      ("shard_size", Jsonio.Int h.shard_size);
+      ("base_seed", Jsonio.Int h.base_seed);
+      ("fingerprint", Jsonio.Str h.fingerprint);
+    ]
+
+let header_matches h j =
+  let str k = Option.bind (Jsonio.member k j) Jsonio.to_str in
+  let int k = Option.bind (Jsonio.member k j) Jsonio.to_int in
+  str "format" = Some "lbc-campaign-progress/1"
+  && str "campaign" = Some h.campaign
+  && int "count" = Some h.count
+  && int "shard_size" = Some h.shard_size
+  && int "base_seed" = Some h.base_seed
+  && str "fingerprint" = Some h.fingerprint
+
+let entry_json e =
+  Jsonio.Obj
+    [
+      ("shard", Jsonio.Int e.shard);
+      ("wall_s", Jsonio.Float e.wall_s);
+      ( "verdicts",
+        Jsonio.List
+          (Array.to_list (Array.map Scenario.verdict_to_json e.verdicts)) );
+    ]
+
+let entry_of_json j =
+  match
+    ( Option.bind (Jsonio.member "shard" j) Jsonio.to_int,
+      Option.bind (Jsonio.member "wall_s" j) Jsonio.to_float,
+      Option.bind (Jsonio.member "verdicts" j) Jsonio.to_list )
+  with
+  | Some shard, Some wall_s, Some vjs ->
+      let rec convert acc = function
+        | [] -> Some (List.rev acc)
+        | vj :: rest -> (
+            match Scenario.verdict_of_json vj with
+            | Ok v -> convert (v :: acc) rest
+            | Error _ -> None)
+      in
+      Option.map
+        (fun vs -> { shard; wall_s; verdicts = Array.of_list vs })
+        (convert [] vjs)
+  | _ -> None
+
+let load ~path ~header =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | exception Sys_error _ -> []
+  | [] -> []
+  | first :: rest -> (
+      match Jsonio.of_string first with
+      | Ok hj when header_matches header hj ->
+          List.filter_map
+            (fun line ->
+              if String.trim line = "" then None
+              else
+                match Jsonio.of_string line with
+                | Ok j -> entry_of_json j
+                | Error _ -> None)
+            rest
+      | _ -> [])
+
+let start ~path ~header =
+  let oc = open_out path in
+  output_string oc (Jsonio.to_string (header_json header));
+  output_char oc '\n';
+  close_out oc
+
+let append ~path entry =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (Jsonio.to_string (entry_json entry));
+  output_char oc '\n';
+  close_out oc
+
+let remove ~path = try Sys.remove path with Sys_error _ -> ()

@@ -1,0 +1,41 @@
+(** Crash-safe campaign progress files.
+
+    A checkpoint is a line-oriented file: a header line identifying the
+    grid (campaign name, scenario count, shard size, base seed and the
+    grid {!Grid.fingerprint}), followed by one JSON line per completed
+    shard. Workers append a line the moment a shard finishes (open →
+    write → flush → close, under the runner's sink mutex), so a killed
+    campaign loses at most the shards in flight; a resuming campaign
+    loads the file, verifies the header against the grid it is about to
+    run, and skips every recorded shard. A header mismatch (the grid or
+    seed changed) discards the stale file rather than mixing results. *)
+
+type header = {
+  campaign : string;
+  count : int;
+  shard_size : int;
+  base_seed : int;
+  fingerprint : string;
+}
+
+type entry = {
+  shard : int;
+  wall_s : float;
+  verdicts : Scenario.verdict array;
+}
+
+val load : path:string -> header:header -> entry list
+(** Completed shards recorded for exactly this header; [[]] when the file
+    does not exist, has a mismatched header, or is unreadable. Truncated
+    or corrupt trailing lines (a kill mid-append) are skipped. *)
+
+val start : path:string -> header:header -> unit
+(** Create/truncate the file and write the header line. Call only when
+    starting fresh (no usable entries). *)
+
+val append : path:string -> entry -> unit
+(** Append one completed shard and flush. Callers must serialize calls
+    (the runner holds its sink mutex). *)
+
+val remove : path:string -> unit
+(** Delete the file, ignoring absence. *)

@@ -1,0 +1,90 @@
+module G = Lbc_graph.Graph
+module Nodeset = Lbc_graph.Nodeset
+module Bit = Lbc_consensus.Bit
+
+type t = { name : string; scenarios : Scenario.t Seq.t }
+
+let make ~name scenarios = { name; scenarios }
+let of_list ~name scenarios = { name; scenarios = List.to_seq scenarios }
+
+let append ~name grids =
+  { name; scenarios = Seq.concat_map (fun g -> g.scenarios) (List.to_seq grids) }
+
+let to_array t = Array.of_seq t.scenarios
+let count t = Seq.length t.scenarios
+
+let shards ~shard_size scenarios =
+  if shard_size < 1 then invalid_arg "Grid.shards: shard_size < 1";
+  let n = Array.length scenarios in
+  let nshards = (n + shard_size - 1) / shard_size in
+  Array.init nshards (fun i ->
+      let lo = i * shard_size in
+      (i, Array.sub scenarios lo (min shard_size (n - lo))))
+
+let fingerprint scenarios =
+  let h = ref 0x0BF29CE484222325 in
+  Array.iter
+    (fun s ->
+      String.iter
+        (fun c ->
+          h := !h lxor Char.code c;
+          h := !h * 0x100000001b3)
+        (Scenario.id s ^ "\n"))
+    scenarios;
+  Printf.sprintf "%016x" (!h land max_int)
+
+(* ------------------------------------------------------------------ *)
+(* Cartesian products                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let product ~name ~graphs ~algos ~placements ~strategies ~inputs =
+  let scenarios =
+    Seq.concat_map
+      (fun (gname, f, build) ->
+        (* One instance to drive enumeration; executions build afresh. *)
+        let g = build () in
+        Seq.concat_map
+          (fun algo ->
+            Seq.concat_map
+              (fun faulty ->
+                Seq.concat_map
+                  (fun strategy ->
+                    Seq.map
+                      (fun iv ->
+                        Scenario.make ~gname ~build ~algo ~f ~faulty ~strategy
+                          ~inputs:iv ())
+                      (List.to_seq (inputs g ~faulty)))
+                  (List.to_seq strategies))
+              (List.to_seq (placements g ~f)))
+          (List.to_seq algos))
+      (List.to_seq graphs)
+  in
+  { name; scenarios }
+
+(* ------------------------------------------------------------------ *)
+(* Axis helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let singleton_placements g ~f:_ =
+  List.map Nodeset.singleton (G.nodes g)
+
+let placements_of_size k g ~f:_ =
+  List.map Nodeset.of_list (Lbc_graph.Combi.combinations (G.nodes g) k)
+
+let placements_up_to_f g ~f =
+  List.map Nodeset.of_list (Lbc_graph.Combi.subsets_up_to (G.nodes g) f)
+
+let unanimous_inputs g ~faulty =
+  List.map
+    (fun uni ->
+      Array.init (G.size g) (fun v ->
+          if Nodeset.mem v faulty then Bit.flip uni else uni))
+    [ Bit.Zero; Bit.One ]
+
+let all_inputs ?(cap = 12) g ~faulty:_ =
+  let n = G.size g in
+  if n > cap then
+    invalid_arg
+      (Printf.sprintf "Grid.all_inputs: 2^%d assignments exceed cap %d" n cap);
+  List.init (1 lsl n) (fun code ->
+      Array.init n (fun v -> Bit.of_int ((code lsr v) land 1)))

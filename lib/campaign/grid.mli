@@ -1,0 +1,79 @@
+(** Scenario grids: lazy, totally ordered enumerations of scenarios.
+
+    A grid is the declarative description of a campaign — typically a
+    cartesian product (graph family × algorithm × fault placement ×
+    adversary strategy × input vector) — enumerated lazily in a fixed
+    total order. Positions in that order are the scenario {e indices};
+    combined with content-derived {!Scenario.id}s this makes a grid
+    deterministically shardable: shard [k] of size [s] is the contiguous
+    index range [k·s .. k·s + s - 1], identical on every run, for every
+    domain count, and across process restarts. *)
+
+type t = { name : string; scenarios : Scenario.t Seq.t }
+
+val make : name:string -> Scenario.t Seq.t -> t
+val of_list : name:string -> Scenario.t list -> t
+
+val append : name:string -> t list -> t
+(** Concatenate grids in order (scenario indices are re-assigned by the
+    combined enumeration; ids are unaffected, being content-derived). *)
+
+val to_array : t -> Scenario.t array
+(** Force the enumeration. *)
+
+val count : t -> int
+
+val shards : shard_size:int -> Scenario.t array -> (int * Scenario.t array) array
+(** Partition the enumeration into contiguous shards of [shard_size]
+    scenarios (the last may be shorter), as [(shard_index, scenarios)].
+    @raise Invalid_argument if [shard_size < 1]. *)
+
+val fingerprint : Scenario.t array -> string
+(** Hex digest (FNV-1a) over the ordered scenario ids — two grids with
+    the same fingerprint enumerate the same scenarios in the same order.
+    Used to validate that a checkpoint belongs to the grid being run. *)
+
+(** {1 Cartesian-product construction} *)
+
+val product :
+  name:string ->
+  graphs:(string * int * (unit -> Lbc_graph.Graph.t)) list ->
+  algos:Scenario.algo list ->
+  placements:(Lbc_graph.Graph.t -> f:int -> Lbc_graph.Nodeset.t list) ->
+  strategies:Lbc_adversary.Strategy.kind list ->
+  inputs:
+    (Lbc_graph.Graph.t ->
+    faulty:Lbc_graph.Nodeset.t ->
+    Lbc_consensus.Bit.t array list) ->
+  t
+(** [product] enumerates graphs (each [(spec, f, build)]) × algorithms ×
+    fault placements × strategies × input vectors, in exactly that
+    nesting order (inputs vary fastest). [placements] and [inputs] are
+    evaluated against a graph instance built once at enumeration time;
+    executions build their own instances. *)
+
+(** {1 Axis helpers} *)
+
+val singleton_placements : Lbc_graph.Graph.t -> f:int -> Lbc_graph.Nodeset.t list
+(** All [n] single-node fault placements (ignores [f]). *)
+
+val placements_of_size : int -> Lbc_graph.Graph.t -> f:int -> Lbc_graph.Nodeset.t list
+(** All node subsets of exactly the given size (ignores [f]). *)
+
+val placements_up_to_f : Lbc_graph.Graph.t -> f:int -> Lbc_graph.Nodeset.t list
+(** All node subsets of size [0 .. f], smallest first. *)
+
+val unanimous_inputs :
+  Lbc_graph.Graph.t -> faulty:Lbc_graph.Nodeset.t -> Lbc_consensus.Bit.t array list
+(** The two unanimous assignments ([Zero]s and [One]s), with every faulty
+    node given the flipped value — the strongest configuration for the
+    validity check, as used by the E1/E2 sweeps. *)
+
+val all_inputs :
+  ?cap:int ->
+  Lbc_graph.Graph.t ->
+  faulty:Lbc_graph.Nodeset.t ->
+  Lbc_consensus.Bit.t array list
+(** All [2^n] input assignments in numeric order (node 0 is the least
+    significant bit).
+    @raise Invalid_argument when [n] exceeds [cap] (default 12). *)

@@ -1,0 +1,108 @@
+module B = Lbc_graph.Builders
+module G = Lbc_graph.Graph
+module Nodeset = Lbc_graph.Nodeset
+module Bit = Lbc_consensus.Bit
+module S = Lbc_adversary.Strategy
+
+let all_one g ~faulty:_ = [ Array.make (G.size g) Bit.One ]
+
+let e1 ?(inputs = `All) ?(quick = false) () =
+  let strategies = if quick then [ S.Flip_forwards; S.Lie ] else S.kinds_lbc in
+  let inputs =
+    match inputs with
+    | `All -> fun g ~faulty -> Grid.all_inputs g ~faulty
+    | `Unanimous -> Grid.unanimous_inputs
+  in
+  Grid.product ~name:"e1"
+    ~graphs:[ ("fig1a", 1, B.fig1a) ]
+    ~algos:[ Scenario.A1; Scenario.A2 ]
+    ~placements:Grid.singleton_placements ~strategies ~inputs
+
+let e2 ?(quick = false) () =
+  let representative =
+    Grid.product ~name:"e2-representative"
+      ~graphs:[ ("fig1b", 2, B.fig1b) ]
+      ~algos:[ Scenario.A1; Scenario.A2 ]
+      ~placements:(fun _ ~f:_ ->
+        List.map Nodeset.of_list
+          (if quick then [ [ 0; 1 ] ] else [ [ 0; 1 ]; [ 0; 4 ]; [ 2; 6 ] ]))
+      ~strategies:[ S.Flip_forwards; S.Lie ]
+      ~inputs:Grid.unanimous_inputs
+  in
+  if quick then { representative with Grid.name = "e2" }
+  else
+    let exhaustive =
+      Grid.product ~name:"e2-exhaustive"
+        ~graphs:[ ("fig1b", 2, B.fig1b) ]
+        ~algos:[ Scenario.A2 ]
+        ~placements:(Grid.placements_of_size 2)
+        ~strategies:
+          [
+            S.Flip_forwards; S.Silent; S.Omit_from (Nodeset.of_list [ 2; 3 ]);
+            S.Noise 2;
+          ]
+        ~inputs:Grid.unanimous_inputs
+    in
+    Grid.append ~name:"e2" [ representative; exhaustive ]
+
+let default_e5_sizes = [ 5; 7; 9; 11; 13; 15; 17 ]
+
+let e5 ?(sizes = default_e5_sizes) () =
+  Grid.product ~name:"e5"
+    ~graphs:
+      (List.map
+         (fun n -> (Printf.sprintf "cycle:%d" n, 1, fun () -> B.cycle n))
+         sizes)
+    ~algos:[ Scenario.A2 ]
+    ~placements:(fun g ~f:_ -> [ Nodeset.singleton (G.size g / 2) ])
+    ~strategies:[ S.Flip_forwards ]
+    ~inputs:(fun g ~faulty:_ ->
+      let n = G.size g in
+      let v = Array.make n Bit.One in
+      v.(n / 2) <- Bit.Zero;
+      [ v ])
+
+let e8 ?(quick = false) () =
+  let fig1 =
+    Grid.product ~name:"e8-fig1"
+      ~graphs:
+        (("fig1a", 1, B.fig1a)
+        :: (if quick then [] else [ ("fig1b", 2, B.fig1b) ]))
+      ~algos:[ Scenario.A1; Scenario.A2 ]
+      ~placements:(fun g ~f ->
+        [ (if G.size g = 5 then Nodeset.singleton 2
+           else Nodeset.of_list (if f = 2 then [ 0; 4 ] else [ 2 ])) ])
+      ~strategies:[ S.Flip_forwards ]
+      ~inputs:all_one
+  in
+  if quick then { fig1 with Grid.name = "e8" }
+  else
+    let baselines =
+      Grid.append ~name:"e8-baselines"
+        [
+          Grid.product ~name:"relay"
+            ~graphs:[ ("wheel:7", 1, fun () -> B.wheel 7) ]
+            ~algos:[ Scenario.Relay ]
+            ~placements:(fun _ ~f:_ -> [ Nodeset.singleton 3 ])
+            ~strategies:[ S.Equivocate ] ~inputs:all_one;
+          Grid.product ~name:"eig"
+            ~graphs:[ ("complete:7", 2, fun () -> B.complete 7) ]
+            ~algos:[ Scenario.Eig ]
+            ~placements:(fun _ ~f:_ -> [ Nodeset.of_list [ 1; 4 ] ])
+            ~strategies:[ S.Lie ] ~inputs:all_one;
+        ]
+    in
+    Grid.append ~name:"e8" [ fig1; baselines ]
+
+let smoke () = { (e1 ~inputs:`Unanimous ()) with Grid.name = "smoke" }
+
+let names = [ "e1"; "e1-unanimous"; "e2"; "e5"; "e8"; "smoke" ]
+
+let by_name ?(quick = false) = function
+  | "e1" -> Some (e1 ~quick ())
+  | "e1-unanimous" -> Some (e1 ~inputs:`Unanimous ~quick ())
+  | "e2" -> Some (e2 ~quick ())
+  | "e5" -> Some (e5 ?sizes:(if quick then Some [ 5; 9; 13 ] else None) ())
+  | "e8" -> Some (e8 ~quick ())
+  | "smoke" -> Some (smoke ())
+  | _ -> None

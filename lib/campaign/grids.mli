@@ -1,0 +1,39 @@
+(** Predefined campaign grids for the experiment index (DESIGN.md §4).
+
+    These are the declarative replacements for the ad-hoc serial loops
+    the E1 / E2 / E5 / E8 sweeps used to run in [bench/main.ml]; the
+    bench harness and the [lbcast campaign] subcommand both obtain their
+    grids here, so the CLI and the experiment tables are guaranteed to
+    sweep the same scenarios. *)
+
+val e1 : ?inputs:[ `All | `Unanimous ] -> ?quick:bool -> unit -> Grid.t
+(** E1 — Figure 1(a), the 5-cycle at [f = 1]: Algorithms 1 and 2 × all 5
+    fault placements × all broadcast-bound strategies × input vectors.
+    [`All] (default) sweeps all [2^5 = 32] input assignments — the
+    exhaustive grid; [`Unanimous] the two flipped-unanimous ones. [quick]
+    reduces the strategy axis to two. *)
+
+val e2 : ?quick:bool -> unit -> Grid.t
+(** E2 — Figure 1(b), C8(1,2) at [f = 2]: the representative
+    A1+A2 sweep plus (unless [quick]) the exhaustive Algorithm 2 sweep
+    over all 28 fault pairs × 4 strategies. *)
+
+val e5 : ?sizes:int list -> unit -> Grid.t
+(** E5 — Theorem 5.6 round linearity: Algorithm 2 on [cycle n] for each
+    [n] (default the bench's 5–17 odd sweep), one flip-forwards fault at
+    [n/2], near-unanimous inputs. *)
+
+val e8 : ?quick:bool -> unit -> Grid.t
+(** E8 — efficiency-gap measurements: A1 vs A2 on the Figure 1 graphs,
+    plus the relay-EIG and EIG point-to-point baselines. *)
+
+val smoke : unit -> Grid.t
+(** The CI smoke campaign: {!e1} with unanimous inputs (220 scenarios) —
+    small enough for a gate, broad enough to cross every strategy. *)
+
+val by_name : ?quick:bool -> string -> Grid.t option
+(** Look up ["e1"], ["e1-unanimous"], ["e2"], ["e5"], ["e8"] or
+    ["smoke"]. *)
+
+val names : string list
+(** The accepted {!by_name} arguments, for help text. *)

@@ -1,0 +1,38 @@
+(** Minimal JSON values, printing and parsing.
+
+    The campaign artifacts are versioned JSON files; the repository policy
+    is no new dependencies, so this is a small hand-rolled implementation
+    covering exactly the JSON subset the artifacts use. Printing is
+    deterministic (object keys appear in construction order, no
+    whitespace variation), which is what makes artifact byte-comparison
+    across domain counts meaningful. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, deterministic rendering. Strings are escaped per RFC 8259
+    (quote, backslash, control characters). Floats print with 17
+    significant digits and round-trip. *)
+
+val of_string : string -> (t, string) result
+(** Recursive-descent parser for the full value grammar (objects, arrays,
+    strings with escapes incl. [\uXXXX], numbers, literals). Trailing
+    garbage after the value is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] otherwise. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int]. *)
+
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,64 @@
+type 'a shared = {
+  queue : 'a Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;  (** no further tasks will be enqueued *)
+  mutable poisoned : exn option;  (** first failure; aborts the pool *)
+}
+
+let take sh =
+  Mutex.lock sh.mutex;
+  let rec go () =
+    if sh.poisoned <> None then None
+    else
+      match Queue.take_opt sh.queue with
+      | Some t -> Some t
+      | None ->
+          if sh.closed then None
+          else begin
+            Condition.wait sh.nonempty sh.mutex;
+            go ()
+          end
+  in
+  let r = go () in
+  Mutex.unlock sh.mutex;
+  r
+
+let poison sh exn =
+  Mutex.lock sh.mutex;
+  if sh.poisoned = None then sh.poisoned <- Some exn;
+  Condition.broadcast sh.nonempty;
+  Mutex.unlock sh.mutex
+
+let worker sh f =
+  let rec go () =
+    match take sh with
+    | None -> ()
+    | Some t ->
+        (match f t with
+        | () -> ()
+        | exception exn -> poison sh exn);
+        go ()
+  in
+  go ()
+
+let run ~domains ~tasks f =
+  if domains <= 1 || Array.length tasks <= 1 then Array.iter f tasks
+  else begin
+    let sh =
+      {
+        queue = Queue.create ();
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        closed = false;
+        poisoned = None;
+      }
+    in
+    Array.iter (fun t -> Queue.add t sh.queue) tasks;
+    sh.closed <- true;
+    let spawned = min (domains - 1) (Array.length tasks - 1) in
+    let ds = List.init spawned (fun _ -> Domain.spawn (fun () -> worker sh f)) in
+    worker sh f;
+    List.iter Domain.join ds;
+    match sh.poisoned with Some exn -> raise exn | None -> ()
+  end

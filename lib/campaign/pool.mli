@@ -1,0 +1,21 @@
+(** A worker pool on OCaml 5 domains.
+
+    Built on the stdlib only ([Domain], [Mutex], [Condition] — domainslib
+    is deliberately not a dependency). Tasks are drawn from a shared
+    queue under a mutex, so scheduling is dynamic (a slow shard does not
+    stall the others), and campaign determinism is unaffected because
+    results are keyed by task, not by completion order.
+
+    With [domains <= 1] everything runs in the calling domain and no
+    domain is spawned — the degenerate case is ordinary sequential
+    execution, which is what makes "byte-identical at any domain count"
+    testable against a serial baseline. *)
+
+val run : domains:int -> tasks:'a array -> ('a -> unit) -> unit
+(** Execute [f task] once for every element of [tasks], using the calling
+    domain plus [domains - 1] spawned domains. Returns when all tasks are
+    done. [f] must be domain-safe (the campaign runner's task bodies only
+    touch per-task state and a mutex-protected sink).
+
+    If any [f] raises, remaining queued tasks are abandoned, all domains
+    are joined, and the first exception is re-raised. *)

@@ -1,0 +1,139 @@
+type config = {
+  domains : int;
+  base_seed : int;
+  shard_size : int;
+  checkpoint : string option;
+  stop_after : int option;
+  progress : (done_shards:int -> total_shards:int -> unit) option;
+}
+
+let default =
+  {
+    domains = 1;
+    base_seed = 0;
+    shard_size = 16;
+    checkpoint = None;
+    stop_after = None;
+    progress = None;
+  }
+
+type outcome =
+  | Complete of Artifact.t
+  | Partial of { completed : int; total : int }
+
+let now () = Unix.gettimeofday ()
+
+let run ?(config = default) grid =
+  let config =
+    {
+      config with
+      domains = max 1 config.domains;
+      shard_size = max 1 config.shard_size;
+    }
+  in
+  let started = now () in
+  let scenarios = Grid.to_array grid in
+  let shards = Grid.shards ~shard_size:config.shard_size scenarios in
+  let total_shards = Array.length shards in
+  let fingerprint = Grid.fingerprint scenarios in
+  let header =
+    {
+      Checkpoint.campaign = grid.Grid.name;
+      count = Array.length scenarios;
+      shard_size = config.shard_size;
+      base_seed = config.base_seed;
+      fingerprint;
+    }
+  in
+  (* Resume: slot in every shard already recorded for this exact grid. *)
+  let results : Checkpoint.entry option array = Array.make total_shards None in
+  let resumed =
+    match config.checkpoint with
+    | None -> 0
+    | Some path ->
+        let prior = Checkpoint.load ~path ~header in
+        List.iter
+          (fun (e : Checkpoint.entry) ->
+            if e.Checkpoint.shard >= 0 && e.Checkpoint.shard < total_shards
+            then results.(e.Checkpoint.shard) <- Some e)
+          prior;
+        let n = Array.fold_left (fun k r -> if r = None then k else k + 1) 0 results in
+        if n = 0 then Checkpoint.start ~path ~header;
+        n
+  in
+  let pending =
+    Array.of_list
+      (List.filter_map
+         (fun (i, scen) -> if results.(i) = None then Some (i, scen) else None)
+         (Array.to_list shards))
+  in
+  let pending =
+    match config.stop_after with
+    | Some k when k < Array.length pending -> Array.sub pending 0 (max 0 k)
+    | _ -> pending
+  in
+  (* The sink serializes result slotting, checkpoint appends and progress
+     reporting across worker domains. *)
+  let sink = Mutex.create () in
+  let done_shards = ref resumed in
+  let exec_shard (i, (scen : Scenario.t array)) =
+    let t0 = now () in
+    let base = i * config.shard_size in
+    let verdicts =
+      Array.mapi
+        (fun j s -> Scenario.execute ~base_seed:config.base_seed ~index:(base + j) s)
+        scen
+    in
+    let entry = { Checkpoint.shard = i; wall_s = now () -. t0; verdicts } in
+    Mutex.lock sink;
+    results.(i) <- Some entry;
+    incr done_shards;
+    (match config.checkpoint with
+    | Some path -> Checkpoint.append ~path entry
+    | None -> ());
+    (match config.progress with
+    | Some f -> f ~done_shards:!done_shards ~total_shards
+    | None -> ());
+    Mutex.unlock sink
+  in
+  Pool.run ~domains:config.domains ~tasks:pending exec_shard;
+  if Array.exists (( = ) None) results then
+    Partial { completed = !done_shards; total = total_shards }
+  else begin
+    let entries = Array.map Option.get results in
+    let verdicts =
+      Array.concat
+        (Array.to_list (Array.map (fun e -> e.Checkpoint.verdicts) entries))
+    in
+    let artifact =
+      {
+        Artifact.campaign = grid.Grid.name;
+        count = Array.length scenarios;
+        shard_size = config.shard_size;
+        base_seed = config.base_seed;
+        grid_fingerprint = fingerprint;
+        verdicts;
+        run =
+          {
+            Artifact.domains = config.domains;
+            wall_s = now () -. started;
+            shard_wall_s =
+              Array.to_list
+                (Array.map (fun e -> (e.Checkpoint.shard, e.Checkpoint.wall_s)) entries);
+            resumed_shards = resumed;
+          };
+      }
+    in
+    (match config.checkpoint with
+    | Some path -> Checkpoint.remove ~path
+    | None -> ());
+    Complete artifact
+  end
+
+let run_exn ?config grid =
+  match run ?config grid with
+  | Complete a -> a
+  | Partial { completed; total } ->
+      failwith
+        (Printf.sprintf "campaign %s stopped at %d/%d shards" grid.Grid.name
+           completed total)

@@ -1,0 +1,42 @@
+(** Campaign execution: shard a grid, run shards on a domain pool,
+    aggregate verdicts into an artifact, checkpointing as it goes.
+
+    Determinism contract: the verdict array of the resulting artifact is
+    a pure function of (grid, base seed) — every scenario runs with its
+    content-derived {!Scenario.scenario_seed}, shards are contiguous
+    index ranges, and aggregation orders verdicts by scenario index — so
+    {!Artifact.deterministic_string} is byte-identical for any [domains],
+    any scheduling interleaving, and across checkpoint/resume. Only the
+    artifact's [run] section (timing, domain count) varies. *)
+
+type config = {
+  domains : int;  (** worker domains (including the caller); min 1 *)
+  base_seed : int;
+  shard_size : int;  (** scenarios per shard; min 1 *)
+  checkpoint : string option;
+      (** progress-file path; enables resume. The file is deleted when
+          the campaign completes. *)
+  stop_after : int option;
+      (** execute at most this many {e new} shards, then return
+          [Partial] — deterministic interruption, used by the resume
+          tests and [--max-shards] *)
+  progress : (done_shards:int -> total_shards:int -> unit) option;
+      (** called under the sink lock after each shard completes *)
+}
+
+val default : config
+(** [domains = 1], [base_seed = 0], [shard_size = 16], no checkpoint, no
+    stop, no progress callback. *)
+
+type outcome =
+  | Complete of Artifact.t
+  | Partial of { completed : int; total : int }
+      (** shards completed so far (including resumed ones) / total;
+          returned only under [stop_after] *)
+
+val run : ?config:config -> Grid.t -> outcome
+(** Enumerate, shard, (maybe) resume, execute, aggregate. *)
+
+val run_exn : ?config:config -> Grid.t -> Artifact.t
+(** {!run}, raising [Failure] on [Partial] — for callers that set no
+    [stop_after]. *)

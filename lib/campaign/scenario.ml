@@ -1,0 +1,295 @@
+module G = Lbc_graph.Graph
+module Nodeset = Lbc_graph.Nodeset
+module Bit = Lbc_consensus.Bit
+module Spec = Lbc_consensus.Spec
+module S = Lbc_adversary.Strategy
+
+type algo = A1 | A2 | A3 of int | Relay | Eig
+
+let algo_name = function
+  | A1 -> "a1"
+  | A2 -> "a2"
+  | A3 _ -> "a3"
+  | Relay -> "relay"
+  | Eig -> "eig"
+
+type t = {
+  gname : string;
+  build : unit -> G.t;
+  algo : algo;
+  f : int;
+  faulty : Nodeset.t;
+  equivocators : Nodeset.t;
+  strategy : S.kind;
+  inputs : Bit.t array;
+}
+
+let make ~gname ~build ~algo ~f ~faulty ?(equivocators = Nodeset.empty)
+    ~strategy ~inputs () =
+  { gname; build; algo; f; faulty; equivocators; strategy; inputs }
+
+let ids_string s =
+  if Nodeset.is_empty s then "-"
+  else
+    String.concat ","
+      (List.map string_of_int (Nodeset.elements s))
+
+let inputs_string inputs =
+  String.concat "" (Array.to_list (Array.map Bit.to_string inputs))
+
+let id s =
+  let t_part = match s.algo with A3 t -> Printf.sprintf "|t=%d" t | _ -> "" in
+  let eq_part =
+    if Nodeset.is_empty s.equivocators then ""
+    else Printf.sprintf "|eq=%s" (ids_string s.equivocators)
+  in
+  Printf.sprintf "%s|%s|f=%d%s|faulty=%s%s|s=%s|in=%s" (algo_name s.algo)
+    s.gname s.f t_part (ids_string s.faulty) eq_part
+    (Format.asprintf "%a" S.pp_kind s.strategy)
+    (inputs_string s.inputs)
+
+(* FNV-1a over the id string: a deterministic, platform-stable hash (we
+   avoid [Hashtbl.hash], whose value is not documented to be stable). The
+   offset basis is the standard one truncated to OCaml's 63-bit int. *)
+let fnv1a s =
+  let h = ref 0x0BF29CE484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land max_int
+
+let scenario_seed ~base s = (fnv1a (id s) lxor (base * 0x9e3779b9)) land max_int
+
+type verdict = {
+  index : int;
+  id : string;
+  ok : bool;
+  agreement : bool;
+  validity : bool;
+  termination : bool;
+  decision : Bit.t option;
+  expected : Bit.t option;
+  rounds : int;
+  phases : int;
+  transmissions : int;
+  deliveries : int;
+  counterexample : string option;
+}
+
+let run_outcome s ~seed =
+  let g = s.build () in
+  let n = G.size g in
+  if Array.length s.inputs <> n then
+    invalid_arg
+      (Printf.sprintf "scenario %s: %d inputs for a %d-node graph" (id s)
+         (Array.length s.inputs) n);
+  let strategy _ = s.strategy in
+  match s.algo with
+  | A1 ->
+      Lbc_consensus.Algorithm1.run ~g ~f:s.f ~inputs:s.inputs
+        ~faulty:s.faulty ~strategy ~seed ()
+  | A2 ->
+      Lbc_consensus.Algorithm2.run ~g ~f:s.f ~inputs:s.inputs
+        ~faulty:s.faulty ~strategy ~seed ()
+  | A3 t ->
+      Lbc_consensus.Algorithm3.run ~g ~f:s.f ~t ~inputs:s.inputs
+        ~faulty:s.faulty ~equivocators:s.equivocators ~strategy ~seed ()
+  | Relay ->
+      Lbc_consensus.Baseline_relay.run ~g ~f:s.f ~inputs:s.inputs
+        ~faulty:s.faulty ~strategy ~seed ()
+  | Eig ->
+      let attack =
+        match s.strategy with
+        | S.Silent | S.Crash_at _ -> Lbc_consensus.Baseline_eig.Silent
+        | S.Equivocate -> Lbc_consensus.Baseline_eig.Equivocate seed
+        | _ -> Lbc_consensus.Baseline_eig.Lie
+      in
+      Lbc_consensus.Baseline_eig.run ~n ~f:s.f ~inputs:s.inputs
+        ~faulty:s.faulty ~attack ~seed ()
+
+let unanimous_honest s =
+  let honest = ref [] in
+  Array.iteri
+    (fun v b -> if not (Nodeset.mem v s.faulty) then honest := b :: !honest)
+    s.inputs;
+  match !honest with
+  | [] -> None
+  | b :: rest -> if List.for_all (Bit.equal b) rest then Some b else None
+
+(* The CLI's [-s] spelling (bin/lbcast.ml parse_strategy) — [S.pp_kind]
+   is the human rendering and is not parseable back. *)
+let cli_kind = function
+  | S.Honest_behavior -> "honest"
+  | S.Silent -> "silent"
+  | S.Crash_at r -> Printf.sprintf "crash:%d" r
+  | S.Lie -> "lie"
+  | S.Flip_forwards -> "flip"
+  | S.Flip_from ids ->
+      Printf.sprintf "flip-from:%s"
+        (String.concat "," (List.map string_of_int (Nodeset.elements ids)))
+  | S.Omit_from ids ->
+      Printf.sprintf "omit:%s"
+        (String.concat "," (List.map string_of_int (Nodeset.elements ids)))
+  | S.Omit_sampled k -> Printf.sprintf "omit-sampled:%d" k
+  | S.Spurious k -> Printf.sprintf "spurious:%d" k
+  | S.Noise k -> Printf.sprintf "noise:%d" k
+  | S.Equivocate -> "equivocate"
+
+let repro_command s ~seed =
+  let parts =
+    [
+      "lbcast run";
+      Printf.sprintf "-g %s" s.gname;
+      Printf.sprintf "--algo %s" (algo_name s.algo);
+      Printf.sprintf "-f %d" s.f;
+      (match s.algo with A3 t -> Printf.sprintf "-t %d" t | _ -> "");
+      (if Nodeset.is_empty s.faulty then ""
+       else Printf.sprintf "--faulty %s" (ids_string s.faulty));
+      (if Nodeset.is_empty s.equivocators then ""
+       else Printf.sprintf "--equivocators %s" (ids_string s.equivocators));
+      Printf.sprintf "-s %s" (cli_kind s.strategy);
+      Printf.sprintf "-i %s" (inputs_string s.inputs);
+      Printf.sprintf "--seed %d" seed;
+    ]
+  in
+  String.concat " " (List.filter (( <> ) "") parts)
+
+let execute ?(base_seed = 0) ~index s =
+  let seed = scenario_seed ~base:base_seed s in
+  let o = run_outcome s ~seed in
+  let agreement = Spec.agreement o in
+  let validity = Spec.validity o in
+  let termination =
+    (* [o.outputs] marks faulty nodes [None] by construction; termination
+       asks whether every honest slot decided. *)
+    let all = ref true in
+    Array.iteri
+      (fun v out ->
+        if (not (Nodeset.mem v o.Spec.faulty)) && out = None then all := false)
+      o.Spec.outputs;
+    !all
+  in
+  let decision = Spec.decision o in
+  let expected = unanimous_honest s in
+  let ok =
+    agreement && validity && termination
+    &&
+    match expected with
+    | None -> true
+    | Some b -> ( match decision with Some d -> Bit.equal d b | None -> false)
+  in
+  let counterexample =
+    if ok then None
+    else
+      Some
+        (Printf.sprintf "outputs=[%s] reproduce: %s"
+           (String.concat ";"
+              (Array.to_list
+                 (Array.mapi
+                    (fun v out ->
+                      match out with
+                      | Some b -> Printf.sprintf "%d:%s" v (Bit.to_string b)
+                      | None -> Printf.sprintf "%d:faulty" v)
+                    o.Spec.outputs)))
+           (repro_command s ~seed))
+  in
+  {
+    index;
+    id = id s;
+    ok;
+    agreement;
+    validity;
+    termination;
+    decision;
+    expected;
+    rounds = o.Spec.rounds;
+    phases = o.Spec.phases;
+    transmissions = o.Spec.transmissions;
+    deliveries = o.Spec.deliveries;
+    counterexample;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Verdict serialization                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bit_opt_json = function
+  | None -> Jsonio.Null
+  | Some b -> Jsonio.Int (Bit.to_int b)
+
+let verdict_to_json v =
+  let base =
+    [
+      ("i", Jsonio.Int v.index);
+      ("id", Jsonio.Str v.id);
+      ("ok", Jsonio.Bool v.ok);
+      ("agreement", Jsonio.Bool v.agreement);
+      ("validity", Jsonio.Bool v.validity);
+      ("termination", Jsonio.Bool v.termination);
+      ("decision", bit_opt_json v.decision);
+      ("expected", bit_opt_json v.expected);
+      ("rounds", Jsonio.Int v.rounds);
+      ("phases", Jsonio.Int v.phases);
+      ("tx", Jsonio.Int v.transmissions);
+      ("rx", Jsonio.Int v.deliveries);
+    ]
+  in
+  let cx =
+    match v.counterexample with
+    | None -> []
+    | Some s -> [ ("counterexample", Jsonio.Str s) ]
+  in
+  Jsonio.Obj (base @ cx)
+
+let verdict_of_json j =
+  let ( let* ) = Option.bind in
+  let field k conv = let* x = Jsonio.member k j in conv x in
+  let bit_opt k =
+    match Jsonio.member k j with
+    | Some Jsonio.Null | None -> Some None
+    | Some (Jsonio.Int i) -> (
+        try Some (Some (Bit.of_int i)) with Invalid_argument _ -> None)
+    | Some _ -> None
+  in
+  let v =
+    let* index = field "i" Jsonio.to_int in
+    let* id = field "id" Jsonio.to_str in
+    let* ok = field "ok" Jsonio.to_bool in
+    let* agreement = field "agreement" Jsonio.to_bool in
+    let* validity = field "validity" Jsonio.to_bool in
+    let* termination = field "termination" Jsonio.to_bool in
+    let* decision = bit_opt "decision" in
+    let* expected = bit_opt "expected" in
+    let* rounds = field "rounds" Jsonio.to_int in
+    let* phases = field "phases" Jsonio.to_int in
+    let* transmissions = field "tx" Jsonio.to_int in
+    let* deliveries = field "rx" Jsonio.to_int in
+    let counterexample =
+      Option.bind (Jsonio.member "counterexample" j) Jsonio.to_str
+    in
+    Some
+      {
+        index;
+        id;
+        ok;
+        agreement;
+        validity;
+        termination;
+        decision;
+        expected;
+        rounds;
+        phases;
+        transmissions;
+        deliveries;
+        counterexample;
+      }
+  in
+  match v with Some v -> Ok v | None -> Error "malformed verdict"
+
+let pp_verdict fmt v =
+  Format.fprintf fmt "[%d] %s: %s (%d rounds, %d tx)%s" v.index v.id
+    (if v.ok then "ok" else "VIOLATION")
+    v.rounds v.transmissions
+    (match v.counterexample with None -> "" | Some c -> " " ^ c)

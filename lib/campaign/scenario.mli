@@ -1,0 +1,89 @@
+(** One cell of an experiment campaign: "run algorithm X under adversary Y
+    on graph Z with inputs I and check agreement/validity/termination".
+
+    Scenarios are pure descriptions — the graph is carried as a {e spec
+    string} (the CLI's [-g] syntax) plus a builder thunk, and every
+    execution builds a fresh graph instance, so scenarios can be executed
+    concurrently on separate domains without sharing mutable graph
+    structure, and every failure report doubles as a [lbcast run]
+    reproduction command.
+
+    A scenario's {!id} is a canonical string derived from its content
+    only (never from enumeration order or scheduling), which is what
+    makes campaign grids shardable and resumable: ids are stable across
+    runs, domain counts and process restarts. *)
+
+type algo =
+  | A1  (** Algorithm 1 (exponential phases, local broadcast) *)
+  | A2  (** Algorithm 2 (O(n) rounds, 2f-connected) *)
+  | A3 of int  (** Algorithm 3 with equivocation budget [t] (hybrid) *)
+  | Relay  (** Dolev-relayed EIG baseline (point-to-point) *)
+  | Eig  (** EIG baseline on complete graphs (point-to-point) *)
+
+val algo_name : algo -> string
+(** CLI-compatible name: ["a1"], ["a2"], ["a3"], ["relay"], ["eig"]. *)
+
+type t = {
+  gname : string;  (** CLI-parsable graph spec, e.g. ["cycle:5"] *)
+  build : unit -> Lbc_graph.Graph.t;  (** fresh graph per execution *)
+  algo : algo;
+  f : int;
+  faulty : Lbc_graph.Nodeset.t;
+  equivocators : Lbc_graph.Nodeset.t;  (** for {!A3}; empty otherwise *)
+  strategy : Lbc_adversary.Strategy.kind;  (** applied to every faulty node *)
+  inputs : Lbc_consensus.Bit.t array;
+}
+
+val make :
+  gname:string ->
+  build:(unit -> Lbc_graph.Graph.t) ->
+  algo:algo ->
+  f:int ->
+  faulty:Lbc_graph.Nodeset.t ->
+  ?equivocators:Lbc_graph.Nodeset.t ->
+  strategy:Lbc_adversary.Strategy.kind ->
+  inputs:Lbc_consensus.Bit.t array ->
+  unit ->
+  t
+
+val id : t -> string
+(** Canonical content-derived identifier, e.g.
+    ["a1|cycle:5|f=1|faulty=2|s=flip-forwards|in=00100"]. Stable across
+    runs and independent of position in any grid. *)
+
+val scenario_seed : base:int -> t -> int
+(** The per-scenario RNG seed: a deterministic (FNV-1a) hash of {!id}
+    folded with the campaign's base seed. Randomised adversary strategies
+    thus behave identically for a given scenario no matter which domain,
+    shard or resumed process executes it. *)
+
+type verdict = {
+  index : int;  (** position in the grid's total enumeration order *)
+  id : string;
+  ok : bool;
+      (** agreement ∧ validity ∧ termination ∧ (decision = unanimous
+          honest input, when the honest inputs are unanimous) *)
+  agreement : bool;
+  validity : bool;
+  termination : bool;  (** every honest node decided *)
+  decision : Lbc_consensus.Bit.t option;  (** common decision, if agreed *)
+  expected : Lbc_consensus.Bit.t option;
+      (** the unanimous honest input, when unanimous *)
+  rounds : int;
+  phases : int;
+  transmissions : int;
+  deliveries : int;
+  counterexample : string option;
+      (** on failure: per-node outputs plus a [lbcast run] reproduction
+          command line *)
+}
+
+val execute : ?base_seed:int -> index:int -> t -> verdict
+(** Build a fresh graph and run the scenario to a verdict. [base_seed]
+    (default 0) feeds {!scenario_seed}. *)
+
+val verdict_to_json : verdict -> Jsonio.t
+val verdict_of_json : Jsonio.t -> (verdict, string) result
+
+val pp_verdict : Format.formatter -> verdict -> unit
+(** One-line human rendering. *)

@@ -1,0 +1,430 @@
+(* Tests for lib/campaign: JSON printing/parsing, grid enumeration and
+   sharding (the qcheck partition property), the domain pool, artifact
+   round-trips, and the determinism / resume contracts of the runner. *)
+
+module C = Lbc_campaign
+module J = C.Jsonio
+module Scenario = C.Scenario
+module Grid = C.Grid
+module B = Lbc_graph.Builders
+module Nodeset = Lbc_graph.Nodeset
+module Bit = Lbc_consensus.Bit
+module S = Lbc_adversary.Strategy
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Jsonio                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_print () =
+  let v =
+    J.Obj
+      [
+        ("a", J.Int 1);
+        ("b", J.List [ J.Bool true; J.Null; J.Str "x\"y\n" ]);
+        ("c", J.Float 0.5);
+      ]
+  in
+  check_str "deterministic rendering"
+    "{\"a\":1,\"b\":[true,null,\"x\\\"y\\n\"],\"c\":0.5}" (J.to_string v)
+
+let test_json_roundtrip () =
+  let values =
+    [
+      J.Null;
+      J.Bool false;
+      J.Int (-42);
+      J.Int max_int;
+      J.Float 3.25;
+      J.Str "";
+      J.Str "tab\there \\ quote\" slash/";
+      J.List [];
+      J.Obj [];
+      J.Obj [ ("k", J.List [ J.Int 1; J.Obj [ ("n", J.Null) ] ]) ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match J.of_string (J.to_string v) with
+      | Ok v' -> check ("roundtrip " ^ J.to_string v) true (v = v')
+      | Error e -> Alcotest.failf "parse error on %s: %s" (J.to_string v) e)
+    values
+
+let test_json_parse () =
+  (match J.of_string " { \"a\" : [ 1 , 2.5 , \"\\u0041\\n\" ] } " with
+  | Ok (J.Obj [ ("a", J.List [ J.Int 1; J.Float f; J.Str s ]) ]) ->
+      check "float" true (f = 2.5);
+      check_str "unicode escape decoded" "A\n" s
+  | Ok j -> Alcotest.failf "unexpected parse: %s" (J.to_string j)
+  | Error e -> Alcotest.failf "parse error: %s" e);
+  check "trailing garbage rejected" true
+    (Result.is_error (J.of_string "[1] x"));
+  check "unterminated string rejected" true
+    (Result.is_error (J.of_string "\"abc"));
+  check "bare word rejected" true (Result.is_error (J.of_string "flurb"))
+
+(* ------------------------------------------------------------------ *)
+(* Scenario ids and seeds                                              *)
+(* ------------------------------------------------------------------ *)
+
+let scenario ?(strategy = S.Flip_forwards) ?(faulty = Nodeset.singleton 2)
+    ?(inputs = [| Bit.Zero; Bit.Zero; Bit.One; Bit.Zero; Bit.Zero |]) () =
+  Scenario.make ~gname:"cycle:5" ~build:(fun () -> B.cycle 5) ~algo:Scenario.A1
+    ~f:1 ~faulty ~strategy ~inputs ()
+
+let test_scenario_id () =
+  check_str "canonical id" "a1|cycle:5|f=1|faulty=2|s=flip-forwards|in=00100"
+    (Scenario.id (scenario ()));
+  check "id depends on content" true
+    (Scenario.id (scenario ()) <> Scenario.id (scenario ~strategy:S.Lie ()))
+
+let test_scenario_seed () =
+  let s = scenario () in
+  check "seed stable" true
+    (Scenario.scenario_seed ~base:7 s = Scenario.scenario_seed ~base:7 s);
+  check "seed varies with base" true
+    (Scenario.scenario_seed ~base:0 s <> Scenario.scenario_seed ~base:1 s);
+  check "seed varies with content" true
+    (Scenario.scenario_seed ~base:0 s
+    <> Scenario.scenario_seed ~base:0 (scenario ~strategy:S.Lie ()));
+  check "seed non-negative" true (Scenario.scenario_seed ~base:(-3) s >= 0)
+
+let test_verdict_roundtrip () =
+  let v = Scenario.execute ~base_seed:0 ~index:5 (scenario ()) in
+  (match Scenario.verdict_of_json (Scenario.verdict_to_json v) with
+  | Ok v' -> check "verdict roundtrip" true (v = v')
+  | Error e -> Alcotest.failf "verdict parse: %s" e);
+  check "a1 on cycle5 f=1 is ok" true v.Scenario.ok;
+  check "no counterexample when ok" true (v.Scenario.counterexample = None)
+
+let test_failing_verdict_counterexample () =
+  (* f=2 on the 5-cycle violates the condition: expect a counterexample
+     carrying a reproduction command. *)
+  let s =
+    Scenario.make ~gname:"cycle:5"
+      ~build:(fun () -> B.cycle 5)
+      ~algo:Scenario.A1 ~f:2
+      ~faulty:(Nodeset.of_list [ 1; 2 ])
+      ~strategy:S.Lie
+      ~inputs:[| Bit.One; Bit.Zero; Bit.Zero; Bit.One; Bit.One |]
+      ()
+  in
+  let v = Scenario.execute ~base_seed:0 ~index:0 s in
+  if not v.Scenario.ok then begin
+    match v.Scenario.counterexample with
+    | None -> Alcotest.fail "failing verdict lacks counterexample"
+    | Some c ->
+        let contains needle hay =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i =
+            i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        check "repro command embedded" true (contains "lbcast run" c);
+        (* roundtrip with the optional field present *)
+        match Scenario.verdict_of_json (Scenario.verdict_to_json v) with
+        | Ok v' -> check "failing verdict roundtrip" true (v = v')
+        | Error e -> Alcotest.failf "verdict parse: %s" e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Grid: qcheck partition property                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Build a small grid from three integers, exercising multiple graphs,
+   algorithms and strategy subsets. *)
+let grid_of_ints (n, mask, extra) =
+  let strategies =
+    List.filteri
+      (fun i _ -> (mask lsr i) land 1 = 1)
+      [ S.Flip_forwards; S.Lie; S.Silent ]
+  in
+  let strategies = if strategies = [] then [ S.Flip_forwards ] else strategies in
+  let algos =
+    if extra land 1 = 1 then [ Scenario.A1; Scenario.A2 ] else [ Scenario.A2 ]
+  in
+  Grid.product ~name:"prop"
+    ~graphs:
+      (( Printf.sprintf "cycle:%d" n, 1, fun () -> B.cycle n )
+      ::
+      (if extra land 2 = 2 then [ ("fig1a", 1, B.fig1a) ] else []))
+    ~algos ~placements:Grid.singleton_placements ~strategies
+    ~inputs:Grid.unanimous_inputs
+
+let prop_sharding_is_partition =
+  QCheck.Test.make ~name:"sharding partitions the enumeration" ~count:60
+    QCheck.(
+      triple (int_range 4 8) (int_range 0 7)
+        (pair (int_range 0 3) (int_range 1 23)))
+    (fun (n, mask, (extra, shard_size)) ->
+      let grid = grid_of_ints (n, mask, extra) in
+      let scenarios = Grid.to_array grid in
+      let ids = Array.map Scenario.id scenarios in
+      (* ids stable across independent enumerations *)
+      let ids2 = Array.map Scenario.id (Grid.to_array grid) in
+      if ids <> ids2 then QCheck.Test.fail_report "enumeration not stable";
+      (* no duplicate ids within the enumeration *)
+      let seen = Hashtbl.create 64 in
+      Array.iter
+        (fun id ->
+          if Hashtbl.mem seen id then
+            QCheck.Test.fail_reportf "duplicate id %s" id;
+          Hashtbl.add seen id ())
+        ids;
+      (* union of shards = full enumeration, in order, no overlap *)
+      let shards = Grid.shards ~shard_size scenarios in
+      let reassembled =
+        Array.concat (Array.to_list (Array.map snd shards))
+      in
+      if Array.map Scenario.id reassembled <> ids then
+        QCheck.Test.fail_report "shards do not reassemble the enumeration";
+      (* shard indices are 0..k-1 in order; sizes are shard_size except
+         possibly the last, which is non-empty *)
+      Array.iteri
+        (fun i (idx, chunk) ->
+          if idx <> i then QCheck.Test.fail_report "shard index mismatch";
+          let expected =
+            if i < Array.length shards - 1 then shard_size
+            else Array.length scenarios - (i * shard_size)
+          in
+          if Array.length chunk <> expected then
+            QCheck.Test.fail_report "shard size mismatch")
+        shards;
+      (* fingerprint is a function of the ordered ids *)
+      Grid.fingerprint scenarios = Grid.fingerprint (Grid.to_array grid))
+
+let test_shards_reject_bad_size () =
+  check "shard_size 0 rejected" true
+    (match Grid.shards ~shard_size:0 [||] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_fingerprint_order_sensitive () =
+  let a = Grid.to_array (grid_of_ints (5, 3, 1)) in
+  let rev = Array.of_list (List.rev (Array.to_list a)) in
+  check "reversal changes fingerprint" true
+    (Grid.fingerprint a <> Grid.fingerprint rev)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_executes_all () =
+  List.iter
+    (fun domains ->
+      let n = 53 in
+      let hits = Array.make n 0 in
+      let m = Mutex.create () in
+      C.Pool.run ~domains
+        ~tasks:(Array.init n (fun i -> i))
+        (fun i ->
+          Mutex.lock m;
+          hits.(i) <- hits.(i) + 1;
+          Mutex.unlock m);
+      check
+        (Printf.sprintf "every task ran exactly once (domains=%d)" domains)
+        true
+        (Array.for_all (( = ) 1) hits))
+    [ 1; 2; 4 ]
+
+let test_pool_propagates_exception () =
+  check "exception reraised" true
+    (match
+       C.Pool.run ~domains:3
+         ~tasks:(Array.init 20 (fun i -> i))
+         (fun i -> if i = 7 then failwith "boom")
+     with
+    | () -> false
+    | exception Failure msg -> msg = "boom")
+
+(* ------------------------------------------------------------------ *)
+(* Runner: determinism, artifacts, checkpoint/resume                   *)
+(* ------------------------------------------------------------------ *)
+
+let small_grid () = grid_of_ints (5, 7, 3)
+
+let config ?(domains = 1) ?checkpoint ?stop_after () =
+  {
+    C.Runner.domains;
+    base_seed = 0;
+    shard_size = 4;
+    checkpoint;
+    stop_after;
+    progress = None;
+  }
+
+let test_runner_deterministic_across_domains () =
+  let a1 = C.Runner.run_exn ~config:(config ()) (small_grid ()) in
+  let a3 = C.Runner.run_exn ~config:(config ~domains:3 ()) (small_grid ()) in
+  check_str "byte-identical modulo run section"
+    (C.Artifact.deterministic_string a1)
+    (C.Artifact.deterministic_string a3);
+  check_int "run section records domains" 3 a3.C.Artifact.run.C.Artifact.domains;
+  let s = C.Artifact.summarize a1 in
+  check_int "all scenarios ok" s.C.Artifact.total s.C.Artifact.ok
+
+let test_artifact_roundtrip () =
+  let a = C.Runner.run_exn ~config:(config ()) (small_grid ()) in
+  (match C.Artifact.of_string (C.Artifact.to_string a) with
+  | Ok a' ->
+      check_str "deterministic part survives"
+        (C.Artifact.deterministic_string a)
+        (C.Artifact.deterministic_string a');
+      check_int "resumed count survives"
+        a.C.Artifact.run.C.Artifact.resumed_shards
+        a'.C.Artifact.run.C.Artifact.resumed_shards
+  | Error e -> Alcotest.failf "artifact parse: %s" e);
+  (match C.Artifact.of_string (C.Artifact.deterministic_string a) with
+  | Ok a' ->
+      check_int "run section optional (zeroed)" 0
+        a'.C.Artifact.run.C.Artifact.domains
+  | Error e -> Alcotest.failf "deterministic-part parse: %s" e);
+  check "version mismatch rejected" true
+    (Result.is_error
+       (C.Artifact.of_string "{\"format\":\"lbc-campaign/999\",\"campaign\":\"x\"}"))
+
+let test_artifact_save_load () =
+  let a = C.Runner.run_exn ~config:(config ()) (small_grid ()) in
+  let path = Filename.temp_file "lbc-artifact" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      C.Artifact.save ~path a;
+      match C.Artifact.load ~path with
+      | Ok a' ->
+          check_str "save/load identity"
+            (C.Artifact.deterministic_string a)
+            (C.Artifact.deterministic_string a')
+      | Error e -> Alcotest.failf "load: %s" e)
+
+let test_resume_matches_uninterrupted () =
+  let path = Filename.temp_file "lbc-checkpoint" ".progress" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let baseline = C.Runner.run_exn ~config:(config ()) (small_grid ()) in
+      (* interrupt deterministically after 2 shards *)
+      (match
+         C.Runner.run
+           ~config:(config ~checkpoint:path ~stop_after:2 ())
+           (small_grid ())
+       with
+      | C.Runner.Partial { completed; total } ->
+          check "partial progress" true (completed = 2 && total > 2)
+      | C.Runner.Complete _ -> Alcotest.fail "expected Partial");
+      check "checkpoint file exists while incomplete" true (Sys.file_exists path);
+      (* resume with a different domain count *)
+      match
+        C.Runner.run
+          ~config:(config ~domains:2 ~checkpoint:path ())
+          (small_grid ())
+      with
+      | C.Runner.Partial _ -> Alcotest.fail "expected Complete"
+      | C.Runner.Complete resumed ->
+          check_str "resumed = uninterrupted"
+            (C.Artifact.deterministic_string baseline)
+            (C.Artifact.deterministic_string resumed);
+          check "resumed shards recorded" true
+            (resumed.C.Artifact.run.C.Artifact.resumed_shards = 2);
+          check "checkpoint removed on completion" false (Sys.file_exists path))
+
+let test_checkpoint_header_mismatch_discards () =
+  let path = Filename.temp_file "lbc-checkpoint" ".progress" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* leave a partial checkpoint for the small grid... *)
+      (match
+         C.Runner.run
+           ~config:(config ~checkpoint:path ~stop_after:1 ())
+           (small_grid ())
+       with
+      | C.Runner.Partial _ -> ()
+      | C.Runner.Complete _ -> Alcotest.fail "expected Partial");
+      (* ...then run a different grid against the same path: the stale
+         file must be discarded, not mixed in. *)
+      let other = grid_of_ints (6, 1, 0) in
+      let baseline = C.Runner.run_exn ~config:(config ()) (grid_of_ints (6, 1, 0)) in
+      match C.Runner.run ~config:(config ~checkpoint:path ()) other with
+      | C.Runner.Partial _ -> Alcotest.fail "expected Complete"
+      | C.Runner.Complete a ->
+          check_int "no stale shards resumed" 0
+            a.C.Artifact.run.C.Artifact.resumed_shards;
+          check_str "result matches fresh run"
+            (C.Artifact.deterministic_string baseline)
+            (C.Artifact.deterministic_string a))
+
+let test_corrupt_checkpoint_line_skipped () =
+  let path = Filename.temp_file "lbc-checkpoint" ".progress" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match
+         C.Runner.run
+           ~config:(config ~checkpoint:path ~stop_after:2 ())
+           (small_grid ())
+       with
+      | C.Runner.Partial _ -> ()
+      | C.Runner.Complete _ -> Alcotest.fail "expected Partial");
+      (* simulate a kill mid-append: truncated garbage on the last line *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"shard\":2,\"verd";
+      close_out oc;
+      let baseline = C.Runner.run_exn ~config:(config ()) (small_grid ()) in
+      match C.Runner.run ~config:(config ~checkpoint:path ()) (small_grid ()) with
+      | C.Runner.Partial _ -> Alcotest.fail "expected Complete"
+      | C.Runner.Complete a ->
+          check "intact shards still resumed" true
+            (a.C.Artifact.run.C.Artifact.resumed_shards = 2);
+          check_str "corrupt tail ignored, result intact"
+            (C.Artifact.deterministic_string baseline)
+            (C.Artifact.deterministic_string a))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "campaign"
+    [
+      ( "jsonio",
+        [
+          Alcotest.test_case "printing" `Quick test_json_print;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parsing" `Quick test_json_parse;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "canonical id" `Quick test_scenario_id;
+          Alcotest.test_case "seeds" `Quick test_scenario_seed;
+          Alcotest.test_case "verdict roundtrip" `Quick test_verdict_roundtrip;
+          Alcotest.test_case "counterexample" `Quick
+            test_failing_verdict_counterexample;
+        ] );
+      ( "grid",
+        Alcotest.test_case "shard_size validation" `Quick
+          test_shards_reject_bad_size
+        :: Alcotest.test_case "fingerprint order" `Quick
+             test_fingerprint_order_sensitive
+        :: qt [ prop_sharding_is_partition ] );
+      ( "pool",
+        [
+          Alcotest.test_case "executes all tasks" `Quick test_pool_executes_all;
+          Alcotest.test_case "propagates exceptions" `Quick
+            test_pool_propagates_exception;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "deterministic across domains" `Quick
+            test_runner_deterministic_across_domains;
+          Alcotest.test_case "artifact roundtrip" `Quick test_artifact_roundtrip;
+          Alcotest.test_case "artifact save/load" `Quick test_artifact_save_load;
+          Alcotest.test_case "resume = uninterrupted" `Quick
+            test_resume_matches_uninterrupted;
+          Alcotest.test_case "stale checkpoint discarded" `Quick
+            test_checkpoint_header_mismatch_discards;
+          Alcotest.test_case "corrupt line skipped" `Quick
+            test_corrupt_checkpoint_line_skipped;
+        ] );
+    ]

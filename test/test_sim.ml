@@ -198,6 +198,62 @@ let test_role_length_mismatch () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Tracefmt: transcript rendering and per-round statistics              *)
+(* ------------------------------------------------------------------ *)
+
+module Tracefmt = Lbc_sim.Tracefmt
+
+let pp_str fmt s = Format.pp_print_string fmt s
+
+let test_transmissions_by_round () =
+  (* Insertion order scrambled; rounds 1 and 4 empty. *)
+  let transcript =
+    [
+      (3, 0, Engine.Broadcast "c");
+      (0, 1, Engine.Broadcast "a");
+      (3, 2, Engine.Unicast (1, "d"));
+      (0, 0, Engine.Broadcast "b");
+      (5, 0, Engine.Broadcast "e");
+    ]
+  in
+  Alcotest.(check (list (pair int int)))
+    "round order, empty rounds omitted"
+    [ (0, 2); (3, 2); (5, 1) ]
+    (Tracefmt.transmissions_by_round transcript)
+
+let test_transmissions_by_round_empty () =
+  Alcotest.(check (list (pair int int)))
+    "empty transcript" []
+    (Tracefmt.transmissions_by_round ([] : (int * int * string Engine.delivery) list))
+
+let test_pp_transcript_rendering () =
+  let transcript =
+    [
+      (0, 2, Engine.Broadcast "hello");
+      (0, 3, Engine.Unicast (1, "psst"));
+      (2, 0, Engine.Broadcast "bye");
+    ]
+  in
+  let out = Format.asprintf "%a" (Tracefmt.pp_transcript ~pp_msg:pp_str) transcript in
+  let contains needle =
+    let nl = String.length needle and hl = String.length out in
+    let rec go i = i + nl <= hl && (String.sub out i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "round 0 header" true (contains "-- round 0 --");
+  check "round 2 header" true (contains "-- round 2 --");
+  check "no round 1 header" false (contains "-- round 1 --");
+  check "broadcast renders => *" true (contains "2 => *: hello");
+  check "unicast renders -> dst" true (contains "3 -> 1: psst");
+  check "later round after header" true (contains "0 => *: bye")
+
+let test_pp_stats () =
+  let s = { Engine.rounds = 7; transmissions = 42; deliveries = 84 } in
+  Alcotest.(check string)
+    "one-line summary" "7 rounds, 42 transmissions, 84 deliveries"
+    (Format.asprintf "%a" Tracefmt.pp_stats s)
+
 let () =
   Alcotest.run "sim"
     [
@@ -221,5 +277,15 @@ let () =
             test_transcript_off_by_default;
           Alcotest.test_case "last round boundary" `Quick
             test_last_round_transmissions_not_delivered;
+        ] );
+      ( "tracefmt",
+        [
+          Alcotest.test_case "transmissions by round" `Quick
+            test_transmissions_by_round;
+          Alcotest.test_case "transmissions by round (empty)" `Quick
+            test_transmissions_by_round_empty;
+          Alcotest.test_case "transcript rendering" `Quick
+            test_pp_transcript_rendering;
+          Alcotest.test_case "stats one-liner" `Quick test_pp_stats;
         ] );
     ]
