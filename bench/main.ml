@@ -106,7 +106,20 @@ let campaign_table scenarios (a : Campaign.Artifact.t) =
   Printf.printf
     "  -> %d/%d scenarios ok; campaign wall %.3f s on %d domain(s)\n"
     s.Campaign.Artifact.ok s.Campaign.Artifact.total
-    a.Campaign.Artifact.run.Campaign.Artifact.wall_s domains
+    a.Campaign.Artifact.run.Campaign.Artifact.wall_s domains;
+  (* per-algorithm counter aggregates from the artifact's stats section
+     (lbc-campaign/2) — deterministic, so they double as a cheap
+     cross-machine regression signal for the instrumented hot paths. *)
+  Printf.printf "\n  %-6s %10s %12s %12s %12s %14s\n" "algo" "rounds"
+    "flood.accept" "dedup.hit" "dfs.visited" "tx (engine)";
+  List.iter
+    (fun (b : Campaign.Stats.algo_stats) ->
+      let c name = Campaign.Stats.counter a.Campaign.Artifact.stats
+          ~algo:b.Campaign.Stats.algo name in
+      Printf.printf "  %-6s %10d %12d %12d %12d %14d\n" b.Campaign.Stats.algo
+        (c "engine.rounds") (c "flood.accept") (c "flood.dedup_hit")
+        (c "packing.dfs_visited") (c "engine.tx"))
+    a.Campaign.Artifact.stats
 
 let e1 () =
   header "E1" "Figure 1(a): the 5-cycle, f = 1 (Theorem 5.1 sufficiency)";

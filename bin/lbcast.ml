@@ -230,7 +230,7 @@ let do_gen g dot =
 (* run                                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let do_run g algo f t inputs faulty equivocators strategy seed =
+let do_run g algo f t inputs faulty equivocators strategy seed stats trace =
   let n = G.size g in
   let inputs =
     match inputs with
@@ -242,7 +242,7 @@ let do_run g algo f t inputs faulty equivocators strategy seed =
         Array.init n (fun v -> if Nodeset.mem v faulty then Bit.One else Bit.Zero)
   in
   let strat _ = strategy in
-  let o =
+  let execute () =
     match algo with
     | "auto" -> (
         match
@@ -268,6 +268,16 @@ let do_run g algo f t inputs faulty equivocators strategy seed =
           other;
         exit 2
   in
+  (* Observability is opt-in: without --stats/--trace no recorder is
+     installed and the instrumentation stays on its zero-cost path. *)
+  let observe = stats || trace <> None in
+  let o, report =
+    if observe then
+      Lbc_obs.Obs.record ~trace:(trace <> None) execute
+    else
+      ( execute (),
+        { Lbc_obs.Obs.counters = []; stats = []; events = [] } )
+  in
   Printf.printf "inputs   : %s\n"
     (String.concat "" (Array.to_list (Array.map Bit.to_string inputs)));
   Printf.printf "faulty   : %s (strategy %s)\n" (Nodeset.to_string faulty)
@@ -282,6 +292,27 @@ let do_run g algo f t inputs faulty equivocators strategy seed =
     (Spec.validity o);
   Printf.printf "cost     : %d phases, %d rounds, %d transmissions\n"
     o.Spec.phases o.Spec.rounds o.Spec.transmissions;
+  if stats then begin
+    Printf.printf "counters :\n";
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-32s %d\n" k v)
+      report.Lbc_obs.Obs.counters;
+    List.iter
+      (fun (k, (s : Lbc_obs.Obs.stat)) ->
+        Printf.printf "  %-32s count=%d sum=%d min=%d max=%d\n" k s.count
+          s.sum s.min s.max)
+      report.Lbc_obs.Obs.stats
+  end;
+  (match trace with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          let fmt = Format.formatter_of_out_channel oc in
+          Lbc_sim.Tracefmt.pp_events fmt report.Lbc_obs.Obs.events;
+          Format.pp_print_flush fmt ());
+      Printf.printf "trace    : %d events -> %s\n"
+        (List.length report.Lbc_obs.Obs.events)
+        path);
   if Spec.consensus_ok o then 0 else 1
 
 (* ------------------------------------------------------------------ *)
@@ -480,9 +511,19 @@ let do_campaign exp gspec algo f quick domains seed shard_size out max_shards =
             Printf.eprintf "\r  shard %d/%d%!" done_shards total_shards);
     }
   in
+  let warn_dropped dropped =
+    if dropped > 0 then
+      Printf.eprintf
+        "warning: dropped %d unparseable checkpoint line%s on resume (one \
+         truncated trailing line is expected after a crash; more suggests \
+         corruption)\n"
+        dropped
+        (if dropped = 1 then "" else "s")
+  in
   match Campaign.Runner.run ~config grid with
-  | Campaign.Runner.Partial { completed; total } ->
+  | Campaign.Runner.Partial { completed; total; dropped_lines } ->
       Printf.eprintf "\n";
+      warn_dropped dropped_lines;
       Printf.printf
         "campaign %s interrupted at %d/%d shards; progress saved to %s — \
          re-run the same command to resume\n"
@@ -490,6 +531,8 @@ let do_campaign exp gspec algo f quick domains seed shard_size out max_shards =
       0
   | Campaign.Runner.Complete artifact ->
       Printf.eprintf "\n";
+      warn_dropped
+        artifact.Campaign.Artifact.run.Campaign.Artifact.dropped_lines;
       Campaign.Artifact.save ~path:out artifact;
       let s = Campaign.Artifact.summarize artifact in
       Printf.printf "campaign   : %s (%d scenarios, %d shards of %d)\n"
@@ -518,7 +561,7 @@ let do_campaign exp gspec algo f quick domains seed shard_size out max_shards =
       end
       else 0
 
-let do_report path fingerprint =
+let do_report path fingerprint stats =
   match Campaign.Artifact.load ~path with
   | Error msg ->
       Printf.eprintf "%s: %s\n" path msg;
@@ -547,6 +590,12 @@ let do_report path fingerprint =
           artifact.Campaign.Artifact.run.Campaign.Artifact.resumed_shards;
         Printf.printf "summary    : %s\n"
           (Format.asprintf "%a" Campaign.Artifact.pp_summary s);
+        if stats then begin
+          Printf.printf "stats      :\n";
+          print_string
+            (Format.asprintf "%a" Campaign.Stats.pp
+               artifact.Campaign.Artifact.stats)
+        end;
         Array.iter
           (fun (v : Campaign.Scenario.verdict) ->
             if not v.Campaign.Scenario.ok then
@@ -647,11 +696,29 @@ let run_cmd =
   let seed =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print observability counters and histograms (flood store \
+             sizes, packing search effort, fault-discovery evidence, \
+             per-phase tallies) after the run.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write per-round trace events (transmissions/deliveries per \
+             engine round) to FILE, one event per line.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a consensus algorithm under an adversary.")
     Term.(
       const do_run $ graph_arg $ algo $ f_arg $ t_arg $ inputs $ faulty
-      $ equivocators $ strategy $ seed)
+      $ equivocators $ strategy $ seed $ stats $ trace)
 
 let attack_cmd =
   let lemma =
@@ -826,13 +893,21 @@ let report_cmd =
             "Print only the digest of the artifact's deterministic portion \
              (everything except the timing section).")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Also print the per-algorithm counter aggregates from the \
+             artifact's deterministic stats section.")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Parse a campaign artifact, print its summary and any violations; \
           exits non-zero when the artifact fails to parse or records \
           violations.")
-    Term.(const do_report $ path $ fingerprint)
+    Term.(const do_report $ path $ fingerprint $ stats)
 
 let () =
   let doc = "Byzantine consensus under the local broadcast model (PODC'19)." in

@@ -1,8 +1,15 @@
 #!/bin/sh
-# CI entry point: build, run the full test suite, then a smoke campaign
-# exercising the lib/campaign subsystem end-to-end — a 2-domain run over
-# the 5-cycle E1 grid whose artifact must parse and record zero
-# violations (`lbcast report` exits non-zero otherwise).
+# CI entry point: build, run the full test suite, then smoke campaigns
+# exercising the lib/campaign subsystem end-to-end:
+#   - a 2-domain run over the 5-cycle E1 grid whose lbc-campaign/2
+#     artifact must parse, record zero violations and carry a stats
+#     section (`lbcast report` exits non-zero otherwise);
+#   - the same grid on 1 domain, whose fingerprint (the digest of the
+#     deterministic portion, timing excluded) must be byte-identical;
+#   - the n100 grid — one Algorithm 2 scenario on a 100-node cycle,
+#     the regression for the former 62-node packing ceiling;
+#   - a migration check: a legacy lbc-campaign/1 artifact must be
+#     rejected with a clear version message, not misparsed.
 set -eu
 
 cd "$(dirname "$0")"
@@ -18,9 +25,43 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT INT TERM
 
 dune exec bin/lbcast.exe -- campaign --exp smoke --domains 2 \
-  --out "$tmp/smoke.json"
+  --out "$tmp/smoke2.json"
 
-echo "== verify artifact =="
-dune exec bin/lbcast.exe -- report "$tmp/smoke.json"
+echo "== verify artifact + stats section =="
+dune exec bin/lbcast.exe -- report --stats "$tmp/smoke2.json" \
+  | tee "$tmp/report.txt"
+grep -q 'engine.rounds' "$tmp/report.txt" \
+  || { echo "FAIL: stats section missing engine.rounds"; exit 1; }
+
+echo "== fingerprint identical across domain counts =="
+dune exec bin/lbcast.exe -- campaign --exp smoke --domains 1 \
+  --out "$tmp/smoke1.json"
+fp1=$(dune exec bin/lbcast.exe -- report --fingerprint "$tmp/smoke1.json")
+fp2=$(dune exec bin/lbcast.exe -- report --fingerprint "$tmp/smoke2.json")
+[ "$fp1" = "$fp2" ] \
+  || { echo "FAIL: fingerprint differs across domain counts"; exit 1; }
+echo "fingerprint $fp1 (1 vs 2 domains)"
+
+echo "== n100 campaign (100-node packing smoke) =="
+dune exec bin/lbcast.exe -- campaign --exp n100 --domains 2 \
+  --out "$tmp/n100.json"
+dune exec bin/lbcast.exe -- report "$tmp/n100.json"
+
+echo "== run --stats / --trace smoke =="
+dune exec bin/lbcast.exe -- run -g cycle:5 -a a2 -f 1 --faulty 2 \
+  --stats --trace "$tmp/run.trace" | tee "$tmp/run.txt"
+grep -q 'flood.accept' "$tmp/run.txt" \
+  || { echo "FAIL: run --stats printed no flood counters"; exit 1; }
+grep -q 'engine.round' "$tmp/run.trace" \
+  || { echo "FAIL: trace file has no engine.round events"; exit 1; }
+
+echo "== lbc-campaign/1 artifact rejected =="
+printf '{"format":"lbc-campaign/1","campaign":"old"}\n' > "$tmp/v1.json"
+if dune exec bin/lbcast.exe -- report "$tmp/v1.json" 2> "$tmp/v1.err"; then
+  echo "FAIL: lbc-campaign/1 artifact was accepted"; exit 1
+fi
+grep -q 'lbc-campaign/2' "$tmp/v1.err" \
+  || { echo "FAIL: v1 rejection does not name the expected format"; exit 1; }
+cat "$tmp/v1.err"
 
 echo "CI OK"

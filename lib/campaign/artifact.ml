@@ -3,6 +3,7 @@ type run_info = {
   wall_s : float;
   shard_wall_s : (int * float) list;
   resumed_shards : int;
+  dropped_lines : int;
 }
 
 type t = {
@@ -12,10 +13,14 @@ type t = {
   base_seed : int;
   grid_fingerprint : string;
   verdicts : Scenario.verdict array;
+  stats : Stats.t;
   run : run_info;
 }
 
-let version = 1
+(* /2: adds the deterministic [stats] section (per-algo counter
+   aggregates) and [run.dropped_lines]. /1 artifacts are rejected by the
+   format check in [of_string]. *)
+let version = 2
 let format_tag = Printf.sprintf "lbc-campaign/%d" version
 
 type summary = {
@@ -98,6 +103,7 @@ let grid_fields t =
     ( "verdicts",
       Jsonio.List
         (Array.to_list (Array.map Scenario.verdict_to_json t.verdicts)) );
+    ("stats", Stats.to_json t.stats);
     ( "summary",
       let s = summarize t in
       Jsonio.Obj
@@ -127,6 +133,7 @@ let run_field t =
                  Jsonio.Obj [ ("shard", Jsonio.Int i); ("s", Jsonio.Float w) ])
                t.run.shard_wall_s) );
         ("resumed_shards", Jsonio.Int t.run.resumed_shards);
+        ("dropped_lines", Jsonio.Int t.run.dropped_lines);
       ] )
 
 let to_string t = Jsonio.to_string (Jsonio.Obj (grid_fields t @ [ run_field t ]))
@@ -169,10 +176,21 @@ let of_string s =
         (Ok []) vjs
     in
     let verdicts = Array.of_list (List.rev verdicts) in
+    let* stats =
+      match Jsonio.member "stats" j with
+      | None -> Ok Stats.empty
+      | Some sj -> Stats.of_json sj
+    in
     let run =
       match Jsonio.member "run" j with
       | None ->
-          { domains = 0; wall_s = 0.0; shard_wall_s = []; resumed_shards = 0 }
+          {
+            domains = 0;
+            wall_s = 0.0;
+            shard_wall_s = [];
+            resumed_shards = 0;
+            dropped_lines = 0;
+          }
       | Some r ->
           let geti name =
             Option.value ~default:0 (Option.bind (Jsonio.member name r) Jsonio.to_int)
@@ -183,8 +201,11 @@ let of_string s =
           in
           {
             domains = geti "domains";
-            wall_s = getf "wall_s";
+            (* Timing clamps mirror Checkpoint.load: a clock that stepped
+               backwards must never surface as negative wall time. *)
+            wall_s = Float.max 0.0 (getf "wall_s");
             resumed_shards = geti "resumed_shards";
+            dropped_lines = geti "dropped_lines";
             shard_wall_s =
               (match Option.bind (Jsonio.member "shard_wall_s" r) Jsonio.to_list with
               | None -> []
@@ -195,13 +216,22 @@ let of_string s =
                         ( Option.bind (Jsonio.member "shard" e) Jsonio.to_int,
                           Option.bind (Jsonio.member "s" e) Jsonio.to_float )
                       with
-                      | Some i, Some w -> Some (i, w)
+                      | Some i, Some w -> Some (i, Float.max 0.0 w)
                       | _ -> None)
                     entries);
           }
     in
     Ok
-      { campaign; count; shard_size; base_seed; grid_fingerprint; verdicts; run }
+      {
+        campaign;
+        count;
+        shard_size;
+        base_seed;
+        grid_fingerprint;
+        verdicts;
+        stats;
+        run;
+      }
 
 let save ~path t =
   let oc = open_out path in

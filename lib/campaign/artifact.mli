@@ -13,11 +13,16 @@
 
 type run_info = {
   domains : int;
-  wall_s : float;  (** wall-clock of the completing invocation *)
+  wall_s : float;
+      (** wall-clock of the completing invocation (monotonic clock,
+          clamped at [0.0] on parse) *)
   shard_wall_s : (int * float) list;
       (** per-shard wall-clock, in shard order (resumed shards keep the
           time recorded by the interrupted invocation) *)
   resumed_shards : int;  (** shards skipped thanks to a checkpoint *)
+  dropped_lines : int;
+      (** unparseable checkpoint lines dropped on resume; one is expected
+          after a mid-append kill, more suggests corruption *)
 }
 
 type t = {
@@ -27,6 +32,9 @@ type t = {
   base_seed : int;
   grid_fingerprint : string;
   verdicts : Scenario.verdict array;  (** sorted by scenario index *)
+  stats : Stats.t;
+      (** per-algorithm counter aggregates; part of the deterministic
+          portion — byte-identical across domain counts *)
   run : run_info;
 }
 

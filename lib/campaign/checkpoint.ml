@@ -10,12 +10,18 @@ type entry = {
   shard : int;
   wall_s : float;
   verdicts : Scenario.verdict array;
+  stats : Stats.t;
 }
+
+(* /2: entries carry per-algo counter aggregates. Version mismatch is
+   handled by the header check — a /1 progress file is discarded as
+   stale, never mixed. *)
+let format_tag = "lbc-campaign-progress/2"
 
 let header_json h =
   Jsonio.Obj
     [
-      ("format", Jsonio.Str "lbc-campaign-progress/1");
+      ("format", Jsonio.Str format_tag);
       ("campaign", Jsonio.Str h.campaign);
       ("count", Jsonio.Int h.count);
       ("shard_size", Jsonio.Int h.shard_size);
@@ -26,7 +32,7 @@ let header_json h =
 let header_matches h j =
   let str k = Option.bind (Jsonio.member k j) Jsonio.to_str in
   let int k = Option.bind (Jsonio.member k j) Jsonio.to_int in
-  str "format" = Some "lbc-campaign-progress/1"
+  str "format" = Some format_tag
   && str "campaign" = Some h.campaign
   && int "count" = Some h.count
   && int "shard_size" = Some h.shard_size
@@ -41,6 +47,7 @@ let entry_json e =
       ( "verdicts",
         Jsonio.List
           (Array.to_list (Array.map Scenario.verdict_to_json e.verdicts)) );
+      ("stats", Stats.to_json e.stats);
     ]
 
 let entry_of_json j =
@@ -57,27 +64,51 @@ let entry_of_json j =
             | Ok v -> convert (v :: acc) rest
             | Error _ -> None)
       in
-      Option.map
-        (fun vs -> { shard; wall_s; verdicts = Array.of_list vs })
-        (convert [] vjs)
+      let stats =
+        match Option.map Stats.of_json (Jsonio.member "stats" j) with
+        | Some (Ok s) -> Some s
+        | Some (Error _) -> None
+        | None -> Some Stats.empty
+      in
+      Option.bind stats (fun stats ->
+          Option.map
+            (fun vs ->
+              (* A clock that stepped backwards mid-shard must not poison
+                 aggregation: clamp on the way in. *)
+              {
+                shard;
+                wall_s = Float.max 0.0 wall_s;
+                verdicts = Array.of_list vs;
+                stats;
+              })
+            (convert [] vjs))
   | _ -> None
 
 let load ~path ~header =
   match In_channel.with_open_text path In_channel.input_lines with
-  | exception Sys_error _ -> []
-  | [] -> []
+  | exception Sys_error _ -> ([], 0)
+  | [] -> ([], 0)
   | first :: rest -> (
       match Jsonio.of_string first with
       | Ok hj when header_matches header hj ->
-          List.filter_map
-            (fun line ->
-              if String.trim line = "" then None
-              else
-                match Jsonio.of_string line with
-                | Ok j -> entry_of_json j
-                | Error _ -> None)
-            rest
-      | _ -> [])
+          let dropped = ref 0 in
+          let entries =
+            List.filter_map
+              (fun line ->
+                if String.trim line = "" then None
+                else
+                  match
+                    Result.to_option (Jsonio.of_string line)
+                    |> Fun.flip Option.bind entry_of_json
+                  with
+                  | Some e -> Some e
+                  | None ->
+                      incr dropped;
+                      None)
+              rest
+          in
+          (entries, !dropped)
+      | _ -> ([], 0))
 
 let start ~path ~header =
   let oc = open_out path in

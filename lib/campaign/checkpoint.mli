@@ -20,14 +20,18 @@ type header = {
 
 type entry = {
   shard : int;
-  wall_s : float;
+  wall_s : float;  (** clamped at [0.0] on load *)
   verdicts : Scenario.verdict array;
+  stats : Stats.t;  (** per-algo counter aggregates for this shard *)
 }
 
-val load : path:string -> header:header -> entry list
-(** Completed shards recorded for exactly this header; [[]] when the file
-    does not exist, has a mismatched header, or is unreadable. Truncated
-    or corrupt trailing lines (a kill mid-append) are skipped. *)
+val load : path:string -> header:header -> entry list * int
+(** Completed shards recorded for exactly this header, plus the number of
+    non-blank lines that failed to parse and were dropped. [([], 0)] when
+    the file does not exist, has a mismatched header, or is unreadable.
+    After a mid-append kill, exactly one dropped (truncated trailing)
+    line is expected; more suggests real corruption — the runner surfaces
+    the count so [lbcast campaign] can warn. *)
 
 val start : path:string -> header:header -> unit
 (** Create/truncate the file and write the header line. Call only when

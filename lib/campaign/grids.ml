@@ -96,7 +96,20 @@ let e8 ?(quick = false) () =
 
 let smoke () = { (e1 ~inputs:`Unanimous ()) with Grid.name = "smoke" }
 
-let names = [ "e1"; "e1-unanimous"; "e2"; "e5"; "e8"; "smoke" ]
+(* Regression for the former 62-node packing ceiling: a single Algorithm 2
+   run on a 100-node cycle (ids up to 99 span two bitset words). One
+   scenario only — A2 on cycle:n is O(n^2) messages, so this stays a
+   smoke, not a sweep. *)
+let n100 () =
+  let n = 100 in
+  Grid.product ~name:"n100"
+    ~graphs:[ (Printf.sprintf "cycle:%d" n, 1, fun () -> B.cycle n) ]
+    ~algos:[ Scenario.A2 ]
+    ~placements:(fun _ ~f:_ -> [ Nodeset.singleton (n / 2) ])
+    ~strategies:[ S.Flip_forwards ]
+    ~inputs:all_one
+
+let names = [ "e1"; "e1-unanimous"; "e2"; "e5"; "e8"; "smoke"; "n100" ]
 
 let by_name ?(quick = false) = function
   | "e1" -> Some (e1 ~quick ())
@@ -105,4 +118,5 @@ let by_name ?(quick = false) = function
   | "e5" -> Some (e5 ?sizes:(if quick then Some [ 5; 9; 13 ] else None) ())
   | "e8" -> Some (e8 ~quick ())
   | "smoke" -> Some (smoke ())
+  | "n100" -> Some (n100 ())
   | _ -> None

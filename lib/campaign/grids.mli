@@ -31,9 +31,14 @@ val smoke : unit -> Grid.t
 (** The CI smoke campaign: {!e1} with unanimous inputs (220 scenarios) —
     small enough for a gate, broad enough to cross every strategy. *)
 
+val n100 : unit -> Grid.t
+(** Large-graph smoke: one Algorithm 2 scenario on a 100-node cycle,
+    exercising node ids beyond one bitset word (the former 62-node
+    packing ceiling). *)
+
 val by_name : ?quick:bool -> string -> Grid.t option
-(** Look up ["e1"], ["e1-unanimous"], ["e2"], ["e5"], ["e8"] or
-    ["smoke"]. *)
+(** Look up ["e1"], ["e1-unanimous"], ["e2"], ["e5"], ["e8"], ["smoke"]
+    or ["n100"]. *)
 
 val names : string list
 (** The accepted {!by_name} arguments, for help text. *)

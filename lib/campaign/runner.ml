@@ -19,9 +19,11 @@ let default =
 
 type outcome =
   | Complete of Artifact.t
-  | Partial of { completed : int; total : int }
+  | Partial of { completed : int; total : int; dropped_lines : int }
 
-let now () = Unix.gettimeofday ()
+(* Monotonic: wall_s deltas must never go negative under NTP steps or
+   DST; Unix.gettimeofday is not monotonic. *)
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
 
 let run ?(config = default) grid =
   let config =
@@ -47,11 +49,11 @@ let run ?(config = default) grid =
   in
   (* Resume: slot in every shard already recorded for this exact grid. *)
   let results : Checkpoint.entry option array = Array.make total_shards None in
-  let resumed =
+  let resumed, dropped_lines =
     match config.checkpoint with
-    | None -> 0
+    | None -> (0, 0)
     | Some path ->
-        let prior = Checkpoint.load ~path ~header in
+        let prior, dropped = Checkpoint.load ~path ~header in
         List.iter
           (fun (e : Checkpoint.entry) ->
             if e.Checkpoint.shard >= 0 && e.Checkpoint.shard < total_shards
@@ -59,7 +61,7 @@ let run ?(config = default) grid =
           prior;
         let n = Array.fold_left (fun k r -> if r = None then k else k + 1) 0 results in
         if n = 0 then Checkpoint.start ~path ~header;
-        n
+        (n, dropped)
   in
   let pending =
     Array.of_list
@@ -79,31 +81,64 @@ let run ?(config = default) grid =
   let exec_shard (i, (scen : Scenario.t array)) =
     let t0 = now () in
     let base = i * config.shard_size in
+    let stats = ref Stats.empty in
     let verdicts =
       Array.mapi
-        (fun j s -> Scenario.execute ~base_seed:config.base_seed ~index:(base + j) s)
+        (fun j s ->
+          let v, counters =
+            Scenario.execute_observed ~base_seed:config.base_seed
+              ~index:(base + j) s
+          in
+          stats :=
+            Stats.merge !stats
+              (Stats.single ~algo:(Scenario.algo_name s.Scenario.algo) counters);
+          v)
         scen
     in
-    let entry = { Checkpoint.shard = i; wall_s = now () -. t0; verdicts } in
+    let entry =
+      {
+        Checkpoint.shard = i;
+        wall_s = now () -. t0;
+        verdicts;
+        stats = !stats;
+      }
+    in
+    (* The critical section must unlock on any exception (a raising
+       progress callback or checkpoint I/O error used to leave the mutex
+       held, deadlocking the surviving workers instead of letting the
+       pool's poison propagate). The user progress callback runs outside
+       the lock, on a snapshot taken under it. *)
     Mutex.lock sink;
-    results.(i) <- Some entry;
-    incr done_shards;
-    (match config.checkpoint with
-    | Some path -> Checkpoint.append ~path entry
-    | None -> ());
-    (match config.progress with
-    | Some f -> f ~done_shards:!done_shards ~total_shards
-    | None -> ());
-    Mutex.unlock sink
+    let snapshot =
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock sink)
+        (fun () ->
+          results.(i) <- Some entry;
+          incr done_shards;
+          (match config.checkpoint with
+          | Some path -> Checkpoint.append ~path entry
+          | None -> ());
+          !done_shards)
+    in
+    match config.progress with
+    | Some f -> f ~done_shards:snapshot ~total_shards
+    | None -> ()
   in
   Pool.run ~domains:config.domains ~tasks:pending exec_shard;
   if Array.exists (( = ) None) results then
-    Partial { completed = !done_shards; total = total_shards }
+    Partial { completed = !done_shards; total = total_shards; dropped_lines }
   else begin
     let entries = Array.map Option.get results in
     let verdicts =
       Array.concat
         (Array.to_list (Array.map (fun e -> e.Checkpoint.verdicts) entries))
+    in
+    (* Stats merge in shard order — but merging is commutative, so any
+       order (and any resume split) yields the same aggregate. *)
+    let stats =
+      Array.fold_left
+        (fun acc e -> Stats.merge acc e.Checkpoint.stats)
+        Stats.empty entries
     in
     let artifact =
       {
@@ -113,6 +148,7 @@ let run ?(config = default) grid =
         base_seed = config.base_seed;
         grid_fingerprint = fingerprint;
         verdicts;
+        stats;
         run =
           {
             Artifact.domains = config.domains;
@@ -121,6 +157,7 @@ let run ?(config = default) grid =
               Array.to_list
                 (Array.map (fun e -> (e.Checkpoint.shard, e.Checkpoint.wall_s)) entries);
             resumed_shards = resumed;
+            dropped_lines;
           };
       }
     in
@@ -133,7 +170,7 @@ let run ?(config = default) grid =
 let run_exn ?config grid =
   match run ?config grid with
   | Complete a -> a
-  | Partial { completed; total } ->
+  | Partial { completed; total; dropped_lines = _ } ->
       failwith
         (Printf.sprintf "campaign %s stopped at %d/%d shards" grid.Grid.name
            completed total)

@@ -1,13 +1,17 @@
 (** Campaign execution: shard a grid, run shards on a domain pool,
     aggregate verdicts into an artifact, checkpointing as it goes.
 
-    Determinism contract: the verdict array of the resulting artifact is
-    a pure function of (grid, base seed) — every scenario runs with its
-    content-derived {!Scenario.scenario_seed}, shards are contiguous
-    index ranges, and aggregation orders verdicts by scenario index — so
+    Determinism contract: the verdict array {e and the stats section} of
+    the resulting artifact are pure functions of (grid, base seed) —
+    every scenario runs with its content-derived
+    {!Scenario.scenario_seed} wholly on one domain under an
+    {!Lbc_obs.Obs.record}, shards are contiguous index ranges, verdict
+    aggregation orders by scenario index, and stats aggregation is a
+    commutative merge of per-scenario counters — so
     {!Artifact.deterministic_string} is byte-identical for any [domains],
     any scheduling interleaving, and across checkpoint/resume. Only the
-    artifact's [run] section (timing, domain count) varies. *)
+    artifact's [run] section (timing, domain count, dropped checkpoint
+    lines) varies. Wall-clock is measured on a monotonic clock. *)
 
 type config = {
   domains : int;  (** worker domains (including the caller); min 1 *)
@@ -21,7 +25,9 @@ type config = {
           [Partial] — deterministic interruption, used by the resume
           tests and [--max-shards] *)
   progress : (done_shards:int -> total_shards:int -> unit) option;
-      (** called under the sink lock after each shard completes *)
+      (** called after each shard completes, {e outside} the sink lock
+          (with a snapshot taken under it) — a raising or slow callback
+          cannot deadlock the other workers *)
 }
 
 val default : config
@@ -30,9 +36,10 @@ val default : config
 
 type outcome =
   | Complete of Artifact.t
-  | Partial of { completed : int; total : int }
+  | Partial of { completed : int; total : int; dropped_lines : int }
       (** shards completed so far (including resumed ones) / total;
-          returned only under [stop_after] *)
+          returned only under [stop_after]. [dropped_lines] counts
+          unparseable checkpoint lines discarded on resume. *)
 
 val run : ?config:config -> Grid.t -> outcome
 (** Enumerate, shard, (maybe) resume, execute, aggregate. *)

@@ -211,6 +211,33 @@ let execute ?(base_seed = 0) ~index s =
     counterexample;
   }
 
+let execute_observed ?base_seed ~index s =
+  let v, report =
+    Lbc_obs.Obs.record (fun () -> execute ?base_seed ~index s)
+  in
+  (* Verdict-level tallies join the instrumentation counters so the
+     per-algo aggregates carry round/phase/message sums even for
+     uninstrumented baselines. *)
+  let verdict_counters =
+    List.sort compare
+      [
+        ("verdict.ok", if v.ok then 1 else 0);
+        ("verdict.violations", if v.ok then 0 else 1);
+        ("verdict.rounds", v.rounds);
+        ("verdict.phases", v.phases);
+        ("verdict.tx", v.transmissions);
+        ("verdict.rx", v.deliveries);
+      ]
+  in
+  let counters =
+    Lbc_obs.Obs.merge_counters report.Lbc_obs.Obs.counters
+      (Lbc_obs.Obs.merge_counters
+         (List.sort compare
+            (Lbc_obs.Obs.flatten_stats report.Lbc_obs.Obs.stats))
+         verdict_counters)
+  in
+  (v, counters)
+
 (* ------------------------------------------------------------------ *)
 (* Verdict serialization                                               *)
 (* ------------------------------------------------------------------ *)

@@ -82,6 +82,16 @@ val execute : ?base_seed:int -> index:int -> t -> verdict
 (** Build a fresh graph and run the scenario to a verdict. [base_seed]
     (default 0) feeds {!scenario_seed}. *)
 
+val execute_observed :
+  ?base_seed:int -> index:int -> t -> verdict * (string * int) list
+(** {!execute} under an {!Lbc_obs.Obs.record}: additionally returns the
+    scenario's observability counters (instrumentation counters, flattened
+    histograms as [name.count]/[name.sum], and the verdict's own
+    round/phase/tx/rx tallies as [verdict.*]), sorted by name. The
+    counters are a pure function of the scenario and seed — the execution
+    happens wholly on the calling domain, so the list is identical no
+    matter which domain or process runs it. *)
+
 val verdict_to_json : verdict -> Jsonio.t
 val verdict_of_json : Jsonio.t -> (verdict, string) result
 

@@ -1,0 +1,92 @@
+type algo_stats = {
+  algo : string;
+  scenarios : int;
+  counters : (string * int) list;
+}
+
+type t = algo_stats list
+
+let empty = []
+
+let single ~algo counters =
+  [
+    {
+      algo;
+      scenarios = 1;
+      counters = List.sort (fun (a, _) (b, _) -> String.compare a b) counters;
+    };
+  ]
+
+let merge a b =
+  let rec go a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | x :: ta, y :: tb ->
+        let c = String.compare x.algo y.algo in
+        if c = 0 then
+          {
+            algo = x.algo;
+            scenarios = x.scenarios + y.scenarios;
+            counters = Lbc_obs.Obs.merge_counters x.counters y.counters;
+          }
+          :: go ta tb
+        else if c < 0 then x :: go ta b
+        else y :: go a tb
+  in
+  go a b
+
+let counter t ~algo name =
+  match List.find_opt (fun x -> x.algo = algo) t with
+  | None -> 0
+  | Some x -> Option.value ~default:0 (List.assoc_opt name x.counters)
+
+let to_json t =
+  Jsonio.List
+    (List.map
+       (fun x ->
+         Jsonio.Obj
+           [
+             ("algo", Jsonio.Str x.algo);
+             ("scenarios", Jsonio.Int x.scenarios);
+             ( "counters",
+               Jsonio.Obj (List.map (fun (k, v) -> (k, Jsonio.Int v)) x.counters)
+             );
+           ])
+       t)
+
+let of_json j =
+  match Jsonio.to_list j with
+  | None -> Error "stats: expected a list"
+  | Some items ->
+      let bucket item =
+        match
+          ( Option.bind (Jsonio.member "algo" item) Jsonio.to_str,
+            Option.bind (Jsonio.member "scenarios" item) Jsonio.to_int,
+            Jsonio.member "counters" item )
+        with
+        | Some algo, Some scenarios, Some (Jsonio.Obj fields) ->
+            let counters =
+              List.filter_map
+                (fun (k, v) ->
+                  Option.map (fun i -> (k, i)) (Jsonio.to_int v))
+                fields
+            in
+            Ok { algo; scenarios; counters }
+        | _ -> Error "stats: malformed bucket"
+      in
+      List.fold_left
+        (fun acc item ->
+          Result.bind acc (fun xs ->
+              Result.map (fun x -> x :: xs) (bucket item)))
+        (Ok []) items
+      |> Result.map List.rev
+
+let pp fmt t =
+  List.iter
+    (fun x ->
+      Format.fprintf fmt "@[%s (%d scenario%s):@]@." x.algo x.scenarios
+        (if x.scenarios = 1 then "" else "s");
+      List.iter
+        (fun (k, v) -> Format.fprintf fmt "  %-32s %d@." k v)
+        x.counters)
+    t

@@ -1,0 +1,37 @@
+(** Deterministic per-algorithm counter aggregates for campaign artifacts.
+
+    Every scenario execution is wrapped in an {!Lbc_obs.Obs.record}, and
+    its counters are folded into one [algo_stats] bucket per algorithm.
+    Because every counter is a sum and buckets are kept sorted (by
+    algorithm name, then counter name), merging commutes with scheduling:
+    the aggregate is a pure function of the scenario multiset, so the
+    resulting [stats] artifact section is byte-identical across domain
+    counts, shard interleavings and checkpoint/resume boundaries. *)
+
+type algo_stats = {
+  algo : string;  (** CLI algorithm name, e.g. ["a1"], ["a2"] *)
+  scenarios : int;  (** executions folded into this bucket *)
+  counters : (string * int) list;  (** sorted by name; values are sums *)
+}
+
+type t = algo_stats list
+(** Sorted by [algo]; the canonical aggregate form. *)
+
+val empty : t
+
+val single : algo:string -> (string * int) list -> t
+(** One scenario's counters as an aggregate (counters are sorted for the
+    caller). *)
+
+val merge : t -> t -> t
+(** Pointwise sum; commutative and associative, preserving sortedness. *)
+
+val counter : t -> algo:string -> string -> int
+(** Value of one counter in one bucket; [0] when absent. *)
+
+val to_json : t -> Jsonio.t
+val of_json : Jsonio.t -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+(** Human table: one block per algorithm, one counter per line — the
+    rendering behind [lbcast report --stats]. *)

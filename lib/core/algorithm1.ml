@@ -66,6 +66,7 @@ let run ~g ~f ~inputs ~faulty ?(strategy = fun _ -> Strategy.Flip_forwards)
   let transmissions = ref 0 in
   let deliveries = ref 0 in
   let phase_idx = ref 0 in
+  let decisive = ref 0 in
   let candidate_sets =
     Lbc_graph.Combi.subsets_up_to (Lbc_graph.Graph.nodes g) f
   in
@@ -79,6 +80,12 @@ let run ~g ~f ~inputs ~faulty ?(strategy = fun _ -> Strategy.Flip_forwards)
           ~phase_idx:!phase_idx !gamma
       in
       gamma := gamma';
+      let changed = ref false in
+      Array.iteri
+        (fun v b ->
+          if (not (Nodeset.mem v faulty)) && b <> gamma'.(v) then changed := true)
+        before;
+      if !changed then decisive := !phase_idx;
       observer
         { phase_idx = !phase_idx; cap_f; stores; before; after = Array.copy gamma' };
       total_rounds := !total_rounds + stats.Engine.rounds;
@@ -86,6 +93,8 @@ let run ~g ~f ~inputs ~faulty ?(strategy = fun _ -> Strategy.Flip_forwards)
       deliveries := !deliveries + stats.Engine.deliveries;
       incr phase_idx)
     candidate_sets;
+  Lbc_obs.Obs.add "algo.phases" !phase_idx;
+  Lbc_obs.Obs.observe "a1.decisive_phase" !decisive;
   {
     Spec.outputs =
       Array.mapi

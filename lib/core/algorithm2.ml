@@ -121,9 +121,10 @@ let attribution_index g ~me ~heard ~store2 =
   List.iter
     (fun ((z, m) : report) -> Hashtbl.replace direct (z, m) ())
     (with_defaults g ~who:me heard);
-  let supports : (report, int list) Hashtbl.t = Hashtbl.create 256 in
+  let supports : (report, Packing.mask list) Hashtbl.t = Hashtbl.create 256 in
   (* per reporter: (disjointness mask, claim-key table) per record *)
-  let by_reporter : (int, int * (int * int list, unit) Hashtbl.t) Hashtbl.t =
+  let by_reporter :
+      (int, Packing.mask * (int * int list, unit) Hashtbl.t) Hashtbl.t =
     Hashtbl.create 64
   in
   List.iter
@@ -171,7 +172,7 @@ let attribution_index g ~me ~heard ~store2 =
                     (* the record's path must avoid z for z::path to be a
                        simple z->me delivery path; z's bit in the mask
                        detects membership (me itself is excluded) *)
-                    if mask land (1 lsl z) = 0 then masks := mask :: !masks)
+                    if not (Packing.mem mask z) then masks := mask :: !masks)
                 (Hashtbl.find_all by_reporter y))
             (G.neighbors g z);
           let r = Packing.count !masks ~limit:(f + 1) >= f + 1 in
@@ -209,12 +210,14 @@ let discover g ~f ~me ~store1 ~(learns : attribution)
                              ~m:{ Flood.value = bbar; path = prefix }
                       then begin
                         trace ~w ~u ~path:p ~z ~kind:"tamper";
+                        Lbc_obs.Obs.incr "a2.evidence.tamper";
                         detected := Nodeset.add z !detected
                       end
                       else if
                         z <> me && learns.silent_on ~f ~z ~path:prefix
                       then begin
                         trace ~w ~u ~path:p ~z ~kind:"omission";
+                        Lbc_obs.Obs.incr "a2.evidence.omission";
                         detected := Nodeset.add z !detected
                       end
                       else scan (z :: prefix_rev) rest
@@ -345,7 +348,16 @@ let run_traced ~g ~f ~inputs ~faulty
           discover g ~f ~me:v ~store1:(p1 v).store1 ~learns ()
         end)
   in
+  Array.iteri
+    (fun v d ->
+      if not (is_faulty v) then
+        Lbc_obs.Obs.observe "a2.faults_discovered" (Nodeset.cardinal d))
+    detected;
   let is_type_a v = Nodeset.cardinal detected.(v) = f in
+  for v = 0 to n - 1 do
+    if not (is_faulty v) then
+      Lbc_obs.Obs.incr (if is_type_a v then "a2.type_a" else "a2.type_b")
+  done;
   let b_decision =
     Array.init n (fun v ->
         if is_faulty v || is_type_a v then None
@@ -384,6 +396,7 @@ let run_traced ~g ~f ~inputs ~faulty
   in
   let stats = [ r1.Engine.stats; r2.Engine.stats; r3.Engine.stats ] in
   let sum field = List.fold_left (fun acc s -> acc + field s) 0 stats in
+  Lbc_obs.Obs.add "algo.phases" 3;
   let outcome =
     {
       Spec.outputs = decision;

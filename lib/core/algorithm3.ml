@@ -68,20 +68,30 @@ let run ~g ~f ~t ~inputs ~faulty ?(equivocators = Nodeset.empty)
   let transmissions = ref 0 in
   let deliveries = ref 0 in
   let phase_idx = ref 0 in
+  let decisive = ref 0 in
   List.iter
     (fun (cap_t, cap_f) ->
       let cap_t = Nodeset.of_list cap_t in
       let cap_f = Nodeset.of_list cap_f in
+      let before = Array.copy !gamma in
       let gamma', _stores, stats =
         Phase_driver.run_phase ~g ~f ~cap_f ~cap_t ~model ~inputs ~faulty
           ~strategy ~seed ~phase_idx:!phase_idx !gamma
       in
       gamma := gamma';
+      let changed = ref false in
+      Array.iteri
+        (fun v b ->
+          if (not (Nodeset.mem v faulty)) && b <> gamma'.(v) then changed := true)
+        before;
+      if !changed then decisive := !phase_idx;
       total_rounds := !total_rounds + stats.Engine.rounds;
       transmissions := !transmissions + stats.Engine.transmissions;
       deliveries := !deliveries + stats.Engine.deliveries;
       incr phase_idx)
     (candidate_pairs ~nodes:(Lbc_graph.Graph.nodes g) ~f ~t);
+  Lbc_obs.Obs.add "algo.phases" !phase_idx;
+  Lbc_obs.Obs.observe "a3.decisive_phase" !decisive;
   {
     Spec.outputs =
       Array.mapi

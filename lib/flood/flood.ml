@@ -57,15 +57,27 @@ let handle t ~round ~from (m : 'v wire) =
     List.length m.path <> round - 1
     || (not (Lbc_graph.Graph.mem_edge t.g from t.me))
     || not (Lbc_graph.Graph.is_path t.g relayed)
-  then None
+  then begin
+    Lbc_obs.Obs.incr "flood.reject_path";
+    None
+  end
   else begin
     let key = (from, m.path) in
-    if Hashtbl.mem t.seen key then None (* rule (ii): anti-equivocation *)
+    if Hashtbl.mem t.seen key then begin
+      (* rule (ii): anti-equivocation *)
+      Lbc_obs.Obs.incr "flood.dedup_hit";
+      None
+    end
     else begin
       Hashtbl.replace t.seen key ();
-      if List.mem t.me m.path then None (* rule (iii) *)
+      if List.mem t.me m.path then begin
+        (* rule (iii) *)
+        Lbc_obs.Obs.incr "flood.reject_own";
+        None
+      end
       else begin
         (* Rule (iv): accept and forward. *)
+        Lbc_obs.Obs.incr "flood.accept";
         Hashtbl.replace t.recs (relayed @ [ t.me ]) m.value;
         Some { value = m.value; path = relayed }
       end
@@ -83,6 +95,7 @@ let synthesize_defaults t =
           (fun w ->
             if Hashtbl.mem t.seen (w, []) then None
             else begin
+              Lbc_obs.Obs.incr "flood.default_synthesized";
               Hashtbl.replace t.seen (w, []) ();
               Hashtbl.replace t.recs [ w; t.me ] d;
               Some { value = d; path = [ w ] }
@@ -109,6 +122,7 @@ let proc t : ('v wire, 'v store) Lbc_sim.Engine.proc =
   { step; output = (fun () -> t) }
 
 let records t =
+  Lbc_obs.Obs.observe "flood.store_size" (Hashtbl.length t.recs);
   Hashtbl.fold
     (fun path v acc ->
       match path with
@@ -139,8 +153,8 @@ let origin_values t ~origin =
    Each candidate record is reduced to the bitmask of the nodes that
    matter for disjointness; the maximum number of pairwise-disjoint masks
    is computed by depth-limited DFS after removing dominated records
-   (m ⊇ m' can always be replaced by m'). Node ids must fit an OCaml int
-   bitmask. *)
+   (m ⊇ m' can always be replaced by m'). Masks are multi-word bitsets
+   (Packing.mask), so node ids are unbounded. *)
 
 let mask_of_nodes = Packing.mask_of_nodes
 let packing_count masks ~limit = Packing.count masks ~limit
@@ -193,5 +207,9 @@ let reliable_values ~f t ~origin =
     | None -> []
   else
     List.filter
-      (fun v -> disjoint_count t ~origin ~value:v ~limit:(f + 1) () >= f + 1)
+      (fun v ->
+        let ok = disjoint_count t ~origin ~value:v ~limit:(f + 1) () >= f + 1 in
+        Lbc_obs.Obs.incr
+          (if ok then "flood.reliable_accept" else "flood.reliable_reject");
+        ok)
       (origin_values t ~origin)

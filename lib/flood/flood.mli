@@ -35,9 +35,8 @@
     recombining edges of different records would let a Byzantine
     forwarder fabricate path prefixes through honest nodes (see
     DESIGN.md). {!reliable_values} implements Definition C.1 on top.
-
-    Node identifiers must fit in an OCaml int bitmask (graphs of at most
-    61 nodes) for the packing queries. *)
+    The packing masks are multi-word bitsets ({!Packing.mask}), so graph
+    size is not capped by the machine word. *)
 
 type 'v wire = { value : 'v; path : Lbc_sim.Engine.node_id list }
 (** On-the-wire message: the flooded value and the route up to the

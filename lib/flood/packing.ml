@@ -1,14 +1,53 @@
-let mask_of_nodes nodes =
-  List.fold_left
-    (fun m x ->
-      if x < 0 || x >= Sys.int_size - 1 then
-        invalid_arg "Packing.mask_of_nodes: node id out of mask range";
-      m lor (1 lsl x))
-    0 nodes
+(* Multi-word bitsets. The representation is canonical — no trailing
+   zero words — so structural equality coincides with set equality and
+   the polymorphic order is a total order usable by [List.sort_uniq].
+   Each word holds [bpw] bits; the sign bit stays clear so every word is
+   non-negative. *)
 
-let popcount m =
-  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
-  go m 0
+type mask = int array
+
+let bpw = Sys.int_size - 1
+
+let empty = [||]
+let is_empty m = Array.length m = 0
+
+let mask_of_nodes nodes =
+  match nodes with
+  | [] -> empty
+  | _ ->
+      let top =
+        List.fold_left
+          (fun acc x ->
+            if x < 0 then invalid_arg "Packing.mask_of_nodes: negative node id";
+            max acc x)
+          0 nodes
+      in
+      let m = Array.make ((top / bpw) + 1) 0 in
+      List.iter (fun x -> m.(x / bpw) <- m.(x / bpw) lor (1 lsl (x mod bpw))) nodes;
+      m
+
+let mem m x =
+  x >= 0
+  && x / bpw < Array.length m
+  && m.(x / bpw) land (1 lsl (x mod bpw)) <> 0
+
+let disjoint a b =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i = i >= n || (a.(i) land b.(i) = 0 && go (i + 1)) in
+  go 0
+
+let subset a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    i >= la || ((if i < lb then a.(i) land b.(i) = a.(i) else a.(i) = 0) && go (i + 1))
+  in
+  go 0
+
+let popcount_word w =
+  let rec go w acc = if w = 0 then acc else go (w lsr 1) (acc + (w land 1)) in
+  go w 0
+
+let popcount m = Array.fold_left (fun acc w -> acc + popcount_word w) 0 m
 
 let count masks ~limit =
   if limit <= 0 then 0
@@ -17,8 +56,8 @@ let count masks ~limit =
     (* The empty mask conflicts with nothing: it always contributes one
        packed element and must not take part in domination (it is a subset
        of everything). *)
-    let has_empty = List.mem 0 masks in
-    let masks = List.filter (fun m -> m <> 0) masks in
+    let has_empty = List.exists is_empty masks in
+    let masks = List.filter (fun m -> not (is_empty m)) masks in
     let bonus = if has_empty then 1 else 0 in
     let limit = limit - bonus in
     if limit <= 0 then bonus
@@ -28,8 +67,7 @@ let count masks ~limit =
        and its strict superset never co-occur in a packing. *)
     let masks =
       List.filter
-        (fun m ->
-          not (List.exists (fun m' -> m' <> m && m' land m = m') masks))
+        (fun m -> not (List.exists (fun m' -> m' <> m && subset m' m) masks))
         masks
     in
     let arr =
@@ -37,16 +75,36 @@ let count masks ~limit =
         (List.sort (fun a b -> compare (popcount a) (popcount b)) masks)
     in
     let len = Array.length arr in
+    (* Scratch accumulator of the nodes used along the current DFS branch;
+       masks in a packing are disjoint, so XOR-ing a mask in and out is an
+       exact add/remove and the search allocates nothing per node. *)
+    let width = Array.fold_left (fun acc m -> max acc (Array.length m)) 0 arr in
+    let used = Array.make width 0 in
+    let fits m =
+      let lm = Array.length m in
+      let rec go i = i >= lm || (m.(i) land used.(i) = 0 && go (i + 1)) in
+      go 0
+    in
+    let toggle m =
+      Array.iteri (fun i w -> used.(i) <- used.(i) lxor w) m
+    in
+    let visited = ref 0 in
     let best = ref 0 in
-    let rec dfs i used depth =
+    let rec dfs i depth =
+      incr visited;
       if depth > !best then best := depth;
       if !best >= limit || i >= len || depth + (len - i) <= !best then ()
       else begin
-        if arr.(i) land used = 0 then dfs (i + 1) (used lor arr.(i)) (depth + 1);
-        if !best < limit then dfs (i + 1) used depth
+        if fits arr.(i) then begin
+          toggle arr.(i);
+          dfs (i + 1) (depth + 1);
+          toggle arr.(i)
+        end;
+        if !best < limit then dfs (i + 1) depth
       end
     in
-    dfs 0 0 0;
+    dfs 0 0;
+    Lbc_obs.Obs.add "packing.dfs_visited" !visited;
     bonus + min !best limit
     end
   end

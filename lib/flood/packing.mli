@@ -4,14 +4,36 @@
     record contributes the bitmask of the nodes relevant for disjointness
     and the packing number is the maximum number of pairwise-disjoint
     masks. Exact, via domination reduction (a mask containing another is
-    never preferable) and depth-limited DFS with early exit. *)
+    never preferable) and depth-limited DFS with early exit.
 
-val mask_of_nodes : int list -> int
-(** Bitmask of a node list.
-    @raise Invalid_argument when a node id does not fit the mask
-    (ids must be < [Sys.int_size - 1], i.e. graphs of ≤ 61 nodes). *)
+    Masks are multi-word bitsets, so node ids are bounded only by memory —
+    not by [Sys.int_size]. (The original single-[int] representation
+    capped every algorithm at 61-node graphs.) *)
 
-val count : int list -> limit:int -> int
+type mask
+(** An immutable set of node ids. Structural equality and the polymorphic
+    comparison order are consistent: two masks are equal iff they contain
+    the same ids (the representation is canonical). *)
+
+val mask_of_nodes : int list -> mask
+(** Bitmask of a node list (duplicates allowed).
+    @raise Invalid_argument on a negative node id. *)
+
+val empty : mask
+val is_empty : mask -> bool
+
+val mem : mask -> int -> bool
+(** [mem m x] is true iff node [x] is in [m]. Total: ids beyond the
+    mask's width are simply absent. *)
+
+val disjoint : mask -> mask -> bool
+val subset : mask -> mask -> bool
+(** [subset m m'] is true iff every id of [m] is in [m']. *)
+
+val popcount : mask -> int
+
+val count : mask list -> limit:int -> int
 (** [count masks ~limit] is the maximum number of pairwise-disjoint masks,
     capped at [limit] (the search stops as soon as [limit] disjoint masks
-    are found). [0] when [limit <= 0]. *)
+    are found). [0] when [limit <= 0]. Records the number of DFS nodes
+    visited in the [packing.dfs_visited] observability counter. *)

@@ -1,0 +1,97 @@
+type event = { round : int; label : string; fields : (string * int) list }
+type stat = { count : int; sum : int; min : int; max : int }
+
+type report = {
+  counters : (string * int) list;
+  stats : (string * stat) list;
+  events : event list;
+}
+
+type recorder = {
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, stat ref) Hashtbl.t;
+  mutable events_rev : event list;
+  trace : bool;
+}
+
+(* The current recorder is domain-local so concurrent campaign workers
+   never share (or race on) tallies; [None] is the zero-cost default. *)
+let key : recorder option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let recording () = Domain.DLS.get key <> None
+
+let tracing () =
+  match Domain.DLS.get key with Some r -> r.trace | None -> false
+
+let add name v =
+  match Domain.DLS.get key with
+  | None -> ()
+  | Some r -> (
+      match Hashtbl.find_opt r.counters name with
+      | Some cell -> cell := !cell + v
+      | None -> Hashtbl.add r.counters name (ref v))
+
+let incr name = add name 1
+
+let observe name v =
+  match Domain.DLS.get key with
+  | None -> ()
+  | Some r -> (
+      match Hashtbl.find_opt r.hists name with
+      | Some cell ->
+          let s = !cell in
+          cell :=
+            {
+              count = s.count + 1;
+              sum = s.sum + v;
+              min = min s.min v;
+              max = max s.max v;
+            }
+      | None -> Hashtbl.add r.hists name (ref { count = 1; sum = v; min = v; max = v }))
+
+let emit ev =
+  match Domain.DLS.get key with
+  | Some r when r.trace -> r.events_rev <- ev :: r.events_rev
+  | Some _ | None -> ()
+
+let sorted_assoc tbl value =
+  Hashtbl.fold (fun name cell acc -> (name, value cell) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let record ?(trace = false) f =
+  let r =
+    {
+      counters = Hashtbl.create 32;
+      hists = Hashtbl.create 8;
+      events_rev = [];
+      trace;
+    }
+  in
+  let prev = Domain.DLS.get key in
+  Domain.DLS.set key (Some r);
+  let x =
+    Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f
+  in
+  ( x,
+    {
+      counters = sorted_assoc r.counters ( ! );
+      stats = sorted_assoc r.hists ( ! );
+      events = List.rev r.events_rev;
+    } )
+
+let merge_counters a b =
+  let rec go a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | (ka, va) :: ta, (kb, vb) :: tb ->
+        let c = String.compare ka kb in
+        if c = 0 then (ka, va + vb) :: go ta tb
+        else if c < 0 then (ka, va) :: go ta b
+        else (kb, vb) :: go a tb
+  in
+  go a b
+
+let flatten_stats stats =
+  List.concat_map
+    (fun (name, s) -> [ (name ^ ".count", s.count); (name ^ ".sum", s.sum) ])
+    stats

@@ -1,0 +1,72 @@
+(** Deterministic, allocation-light observability: named monotonic
+    counters, simple integer histograms and per-round trace events.
+
+    Instrumentation sites call {!incr}/{!add}/{!observe} (and, guarded by
+    {!tracing}, {!emit}) unconditionally. Whether anything is recorded
+    depends on the {e recorder} installed in the current domain: with no
+    recorder installed — the default — every call is a cheap no-op that
+    allocates nothing, so instrumented hot paths cost a domain-local read
+    and a branch. {!record} installs a fresh recorder around a thunk and
+    returns everything it captured.
+
+    The recorder is domain-local ({!Domain.DLS}), which is what makes the
+    campaign runner's stats deterministic: each scenario executes wholly
+    on one domain under its own recorder, so its snapshot is a pure
+    function of the scenario, and summing snapshots commutes with any
+    scheduling of scenarios onto domains. *)
+
+type event = {
+  round : int;  (** simulation round the event belongs to *)
+  label : string;
+  fields : (string * int) list;
+}
+(** One trace event. Events are recorded in emission order. *)
+
+type stat = { count : int; sum : int; min : int; max : int }
+(** Histogram summary of the values passed to {!observe} under one name. *)
+
+type report = {
+  counters : (string * int) list;  (** sorted by name *)
+  stats : (string * stat) list;  (** sorted by name *)
+  events : event list;  (** chronological *)
+}
+
+val recording : unit -> bool
+(** [true] iff a recorder is installed in the current domain. *)
+
+val tracing : unit -> bool
+(** [true] iff a recorder is installed {e and} it was opened with
+    [~trace:true]. Guard every {!emit} call site with this so the
+    disabled path never allocates an event. *)
+
+val incr : string -> unit
+(** Add 1 to a named counter. No-op without a recorder. *)
+
+val add : string -> int -> unit
+(** Add an arbitrary (non-negative) amount to a named counter. *)
+
+val observe : string -> int -> unit
+(** Record one sample into the named histogram. *)
+
+val emit : event -> unit
+(** Append a trace event. Dropped unless {!tracing} — call sites must
+    check {!tracing} first to avoid building the event at all. *)
+
+val record : ?trace:bool -> (unit -> 'a) -> 'a * report
+(** [record f] installs a fresh recorder in the current domain, runs
+    [f], uninstalls it (restoring any previously installed recorder,
+    also on exception) and returns [f]'s result with the captured
+    report. [~trace] (default [false]) additionally enables {!emit}.
+    Nested [record]s are independent: the inner recorder shadows the
+    outer one, whose tallies are unaffected by the inner run. *)
+
+val merge_counters :
+  (string * int) list -> (string * int) list -> (string * int) list
+(** Pointwise sum of two sorted counter snapshots; result sorted by
+    name. Associative and commutative, so any aggregation order yields
+    the same snapshot. *)
+
+val flatten_stats : (string * stat) list -> (string * int) list
+(** Histograms rendered as summable counters: each [(name, s)] becomes
+    [name ^ ".count"] and [name ^ ".sum"] — the two components whose
+    cross-scenario aggregation is order-independent. Sorted by name. *)

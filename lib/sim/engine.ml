@@ -66,6 +66,7 @@ let run ?(record = false) topo ~model ~rounds ~roles =
      obtain by iterating senders in ascending id order each round. *)
   let inboxes = Array.make topo.n [] in
   for round = 0 to rounds - 1 do
+    let tx0 = !transmissions and rx0 = !deliveries in
     let incoming = Array.map List.rev inboxes in
     Array.fill inboxes 0 topo.n [];
     for u = 0 to topo.n - 1 do
@@ -86,22 +87,37 @@ let run ?(record = false) topo ~model ~rounds ~roles =
                   inboxes.(v) <- (u, m) :: inboxes.(v))
                 (topo.hears u)
           | Unicast (v, m) ->
-              if not (may_unicast model u) then
+              if not (may_unicast model u) then begin
+                Lbc_obs.Obs.incr "engine.reject_unicast_model";
                 raise
                   (Model_violation
                      (Printf.sprintf
                         "node %d attempted unicast under a broadcast-bound \
                          model"
-                        u));
-              if not (topo.link u v) then
+                        u))
+              end;
+              if not (topo.link u v) then begin
+                Lbc_obs.Obs.incr "engine.reject_unicast_link";
                 raise
                   (Model_violation
-                     (Printf.sprintf "node %d unicast to non-neighbour %d" u v));
+                     (Printf.sprintf "node %d unicast to non-neighbour %d" u v))
+              end;
               incr deliveries;
               inboxes.(v) <- (u, m) :: inboxes.(v))
         out
-    done
+    done;
+    if Lbc_obs.Obs.tracing () then
+      Lbc_obs.Obs.emit
+        {
+          Lbc_obs.Obs.round;
+          label = "engine.round";
+          fields =
+            [ ("tx", !transmissions - tx0); ("rx", !deliveries - rx0) ];
+        }
   done;
+  Lbc_obs.Obs.add "engine.rounds" rounds;
+  Lbc_obs.Obs.add "engine.tx" !transmissions;
+  Lbc_obs.Obs.add "engine.rx" !deliveries;
   let outputs =
     Array.map
       (function Honest p -> Some (p.output ()) | Faulty _ -> None)

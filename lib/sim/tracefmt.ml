@@ -17,6 +17,14 @@ let pp_stats fmt (s : Engine.stats) =
   Format.fprintf fmt "%d rounds, %d transmissions, %d deliveries"
     s.Engine.rounds s.Engine.transmissions s.Engine.deliveries
 
+let pp_event fmt (ev : Lbc_obs.Obs.event) =
+  Format.fprintf fmt "@[[%d] %s" ev.Lbc_obs.Obs.round ev.Lbc_obs.Obs.label;
+  List.iter (fun (k, v) -> Format.fprintf fmt " %s=%d" k v) ev.Lbc_obs.Obs.fields;
+  Format.fprintf fmt "@]"
+
+let pp_events fmt events =
+  List.iter (fun ev -> Format.fprintf fmt "%a@." pp_event ev) events
+
 let transmissions_by_round transcript =
   let tbl = Hashtbl.create 16 in
   List.iter

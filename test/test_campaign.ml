@@ -313,7 +313,7 @@ let test_resume_matches_uninterrupted () =
            ~config:(config ~checkpoint:path ~stop_after:2 ())
            (small_grid ())
        with
-      | C.Runner.Partial { completed; total } ->
+      | C.Runner.Partial { completed; total; _ } ->
           check "partial progress" true (completed = 2 && total > 2)
       | C.Runner.Complete _ -> Alcotest.fail "expected Partial");
       check "checkpoint file exists while incomplete" true (Sys.file_exists path);
@@ -380,9 +380,142 @@ let test_corrupt_checkpoint_line_skipped () =
       | C.Runner.Complete a ->
           check "intact shards still resumed" true
             (a.C.Artifact.run.C.Artifact.resumed_shards = 2);
+          (* exactly the one truncated trailing line is counted dropped *)
+          check_int "dropped line surfaced" 1
+            a.C.Artifact.run.C.Artifact.dropped_lines;
           check_str "corrupt tail ignored, result intact"
             (C.Artifact.deterministic_string baseline)
             (C.Artifact.deterministic_string a))
+
+(* Regression: a raising progress callback used to leave the sink mutex
+   locked, deadlocking every other worker instead of letting the pool's
+   poison propagate. The callback now runs outside the lock, so the
+   exception surfaces as a normal pool failure. A regressed
+   implementation hangs here rather than failing an assertion. *)
+let test_raising_progress_callback_no_deadlock () =
+  let calls = Atomic.make 0 in
+  let cfg =
+    {
+      (config ~domains:4 ()) with
+      C.Runner.progress =
+        Some
+          (fun ~done_shards:_ ~total_shards:_ ->
+            if Atomic.fetch_and_add calls 1 = 0 then failwith "progress boom");
+    }
+  in
+  (match C.Runner.run ~config:cfg (small_grid ()) with
+  | exception Failure msg -> check_str "callback exception propagates" "progress boom" msg
+  | C.Runner.Partial _ | C.Runner.Complete _ ->
+      (* With >1 domains another worker may finish its shard between the
+         poison and the queue drain; completing without the exception is
+         a pool-semantics question, but the run must at least not hang
+         and not lose shards. *)
+      ());
+  check "callback was invoked" true (Atomic.get calls >= 1);
+  (* The state is not wedged: the same config (minus the raising
+     callback) still completes afterwards. *)
+  let a =
+    C.Runner.run_exn ~config:(config ~domains:4 ()) (small_grid ())
+  in
+  let s = C.Artifact.summarize a in
+  check_int "subsequent run completes" s.C.Artifact.total s.C.Artifact.ok
+
+let test_wall_s_clamped_on_parse () =
+  let a = C.Runner.run_exn ~config:(config ()) (small_grid ()) in
+  let negated =
+    {
+      a with
+      C.Artifact.run =
+        {
+          a.C.Artifact.run with
+          C.Artifact.wall_s = -5.0;
+          shard_wall_s = [ (0, -1.0); (1, 0.25) ];
+        };
+    }
+  in
+  match C.Artifact.of_string (C.Artifact.to_string negated) with
+  | Error e -> Alcotest.failf "artifact parse: %s" e
+  | Ok a' ->
+      check "negative wall_s clamped" true
+        (a'.C.Artifact.run.C.Artifact.wall_s = 0.0);
+      check "negative shard wall clamped" true
+        (List.assoc 0 a'.C.Artifact.run.C.Artifact.shard_wall_s = 0.0);
+      check "positive shard wall kept" true
+        (List.assoc 1 a'.C.Artifact.run.C.Artifact.shard_wall_s = 0.25)
+
+let test_v1_artifact_rejected () =
+  match
+    C.Artifact.of_string
+      "{\"format\":\"lbc-campaign/1\",\"campaign\":\"old\",\"grid\":{},\
+       \"verdicts\":[]}"
+  with
+  | Ok _ -> Alcotest.fail "v1 artifact must be rejected"
+  | Error msg ->
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      check "error names both versions" true
+        (contains "lbc-campaign/1" msg && contains "lbc-campaign/2" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_merge () =
+  let a = C.Stats.single ~algo:"a2" [ ("x", 2); ("y", 1) ] in
+  let b = C.Stats.single ~algo:"a1" [ ("x", 5) ] in
+  let c = C.Stats.single ~algo:"a2" [ ("z", 3); ("x", 1) ] in
+  let m1 = C.Stats.merge (C.Stats.merge a b) c in
+  let m2 = C.Stats.merge c (C.Stats.merge b a) in
+  check "merge commutes" true (m1 = m2);
+  check_int "buckets sorted and summed" 3 (C.Stats.counter m1 ~algo:"a2" "x");
+  check_int "other algo untouched" 5 (C.Stats.counter m1 ~algo:"a1" "x");
+  check_int "absent counter is zero" 0 (C.Stats.counter m1 ~algo:"a1" "zzz");
+  match C.Stats.of_json (C.Stats.to_json m1) with
+  | Ok m' -> check "stats json roundtrip" true (m1 = m')
+  | Error e -> Alcotest.failf "stats parse: %s" e
+
+let test_artifact_carries_stats () =
+  let a = C.Runner.run_exn ~config:(config ()) (small_grid ()) in
+  check "stats nonempty" true (a.C.Artifact.stats <> C.Stats.empty);
+  (* every executed scenario lands in exactly one bucket *)
+  let folded =
+    List.fold_left (fun k (b : C.Stats.algo_stats) -> k + b.C.Stats.scenarios)
+      0 a.C.Artifact.stats
+  in
+  check_int "scenario counts partition" a.C.Artifact.count folded;
+  (* the instrumentation actually fired: engine rounds were counted *)
+  check "engine counters present" true
+    (C.Stats.counter a.C.Artifact.stats ~algo:"a2" "engine.rounds" > 0);
+  check "verdict tallies match summary" true
+    (C.Stats.counter a.C.Artifact.stats ~algo:"a2" "verdict.tx" > 0)
+
+(* Satellite property: the stats section is byte-identical across domain
+   counts — counter aggregation commutes with scheduling. *)
+let prop_stats_deterministic_across_domains =
+  QCheck.Test.make ~name:"stats byte-identical for domains 1 vs 4" ~count:6
+    QCheck.(pair (int_range 4 6) (int_range 0 7))
+    (fun (n, mask) ->
+      let grid () = grid_of_ints (n, mask, 1) in
+      let a1 = C.Runner.run_exn ~config:(config ~domains:1 ()) (grid ()) in
+      let a4 = C.Runner.run_exn ~config:(config ~domains:4 ()) (grid ()) in
+      C.Jsonio.to_string (C.Stats.to_json a1.C.Artifact.stats)
+      = C.Jsonio.to_string (C.Stats.to_json a4.C.Artifact.stats)
+      && C.Artifact.deterministic_string a1
+         = C.Artifact.deterministic_string a4)
+
+let test_n100_grid_registered () =
+  match C.Grids.by_name "n100" with
+  | None -> Alcotest.fail "n100 grid missing"
+  | Some g ->
+      let scenarios = Grid.to_array g in
+      check_int "single scenario" 1 (Array.length scenarios);
+      let s = scenarios.(0) in
+      check_str "100-node graph" "cycle:100" s.Scenario.gname;
+      check "ids above one bitset word" true
+        (Lbc_graph.Graph.size (s.Scenario.build ()) = 100)
 
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
@@ -426,5 +559,15 @@ let () =
             test_checkpoint_header_mismatch_discards;
           Alcotest.test_case "corrupt line skipped" `Quick
             test_corrupt_checkpoint_line_skipped;
+          Alcotest.test_case "raising progress callback" `Quick
+            test_raising_progress_callback_no_deadlock;
+          Alcotest.test_case "wall_s clamped" `Quick test_wall_s_clamped_on_parse;
+          Alcotest.test_case "v1 artifact rejected" `Quick
+            test_v1_artifact_rejected;
         ] );
+      ( "stats",
+        Alcotest.test_case "merge" `Quick test_stats_merge
+        :: Alcotest.test_case "artifact stats" `Quick test_artifact_carries_stats
+        :: Alcotest.test_case "n100 grid" `Quick test_n100_grid_registered
+        :: qt [ prop_stats_deterministic_across_domains ] );
     ]

@@ -204,10 +204,81 @@ let test_packing_needs_search () =
     (Packing.count [ m [ 1; 2 ]; m [ 1; 3 ]; m [ 2; 4 ] ] ~limit:5)
 
 let test_packing_mask_range () =
-  check "large id rejected" true
-    (match Packing.mask_of_nodes [ 70 ] with
+  (* The multi-word bitset kills the old 62-node ceiling: ids beyond
+     [Sys.int_size] are first-class. Negative ids are still rejected. *)
+  let m = Packing.mask_of_nodes in
+  check "large id accepted" true (Packing.mem (m [ 70 ]) 70);
+  check "large id absent elsewhere" false (Packing.mem (m [ 70 ]) 71);
+  check "mem total beyond width" false (Packing.mem (m [ 3 ]) 1000);
+  check "cross-word disjoint" true (Packing.disjoint (m [ 3; 200 ]) (m [ 4; 201 ]));
+  check "cross-word overlap" false (Packing.disjoint (m [ 3; 200 ]) (m [ 201; 200 ]));
+  check "cross-word subset" true (Packing.subset (m [ 200 ]) (m [ 3; 200 ]));
+  check_int "cross-word popcount" 3 (Packing.popcount (m [ 0; 62; 124 ]));
+  check_int "packing beyond word 1" 2
+    (Packing.count [ m [ 10; 100 ]; m [ 11; 101 ]; m [ 100; 11 ] ] ~limit:5);
+  check "negative id rejected" true
+    (match m [ -1 ] with
     | _ -> false
     | exception Invalid_argument _ -> true)
+
+let test_packing_mask_canonical () =
+  (* Canonical representation: structural equality = set equality, and
+     duplicate ids collapse. *)
+  let m = Packing.mask_of_nodes in
+  check "duplicates collapse" true (m [ 5; 5; 5 ] = m [ 5 ]);
+  check "order irrelevant" true (m [ 90; 2 ] = m [ 2; 90 ]);
+  check "empty is empty" true (Packing.is_empty Packing.empty);
+  check "nonempty" false (Packing.is_empty (m [ 0 ]))
+
+(* qcheck: the multi-word bitset agrees with a single-int reference on
+   ids small enough for the old representation. *)
+let packing_reference_equivalence =
+  let open QCheck in
+  let small_ids = list_of_size (Gen.int_bound 8) (int_bound 60) in
+  Test.make ~name:"packing agrees with int-mask reference" ~count:200
+    (pair (list_of_size (Gen.int_bound 6) small_ids) (int_bound 6))
+    (fun (node_lists, limit) ->
+      let masks = List.map Packing.mask_of_nodes node_lists in
+      (* Packing counts distinct masks (identical records collapse), so
+         the reference dedupes too. *)
+      let ref_masks =
+        List.sort_uniq compare
+          (List.map
+             (List.fold_left (fun acc x -> acc lor (1 lsl x)) 0)
+             node_lists)
+      in
+      (* reference: brute-force max disjoint packing over int masks *)
+      let arr = Array.of_list ref_masks in
+      let n = Array.length arr in
+      let best = ref 0 in
+      let rec go i used depth =
+        if depth > !best then best := depth;
+        if i < n then begin
+          if arr.(i) land used = 0 then go (i + 1) (used lor arr.(i)) (depth + 1);
+          go (i + 1) used depth
+        end
+      in
+      go 0 0 0;
+      Packing.count masks ~limit = min limit !best)
+
+let test_flood_large_graph () =
+  (* End-to-end regression above the old 62-node ceiling: a full flood on
+     a 70-cycle delivers both boundary paths to the antipode. *)
+  let n = 70 in
+  let g = B.cycle n in
+  let roles =
+    Array.init n (fun v ->
+        Engine.Honest (Flood.proc (Flood.create g ~me:v ~initiate:v ())))
+  in
+  let r =
+    Engine.run (Engine.topology_of_graph g) ~model:Engine.Local_broadcast
+      ~rounds:(Flood.rounds_needed g) ~roles
+  in
+  let st = Option.get r.Engine.outputs.(0) in
+  check_int "two disjoint paths from antipode" 2
+    (Flood.disjoint_count st ~origin:(n / 2) ~value:(n / 2) ());
+  check "reliably received" true
+    (Flood.reliable_values ~f:1 st ~origin:(n / 2) = [ n / 2 ])
 
 (* ------------------------------------------------------------------ *)
 (* Disjoint counting and reliable receive                               *)
@@ -367,7 +438,11 @@ let () =
           Alcotest.test_case "domination" `Quick test_packing_domination;
           Alcotest.test_case "search" `Quick test_packing_needs_search;
           Alcotest.test_case "mask range" `Quick test_packing_mask_range;
+          Alcotest.test_case "mask canonical" `Quick test_packing_mask_canonical;
+          QCheck_alcotest.to_alcotest packing_reference_equivalence;
         ] );
+      ( "large graphs",
+        [ Alcotest.test_case "70-cycle flood" `Slow test_flood_large_graph ] );
       ( "acceptance",
         [
           Alcotest.test_case "disjoint honest" `Quick test_disjoint_count_honest;

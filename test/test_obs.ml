@@ -1,0 +1,181 @@
+(* Tier-1 tests for lib/obs — the observability layer's core contract:
+   faithful capture under a recorder, strict no-op (and no allocation)
+   without one, and order-independent aggregation. *)
+
+module Obs = Lbc_obs.Obs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Capture                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_and_stats () =
+  let (), r =
+    Obs.record (fun () ->
+        Obs.incr "b";
+        Obs.add "a" 3;
+        Obs.incr "b";
+        Obs.add "a" 0;
+        Obs.observe "h" 4;
+        Obs.observe "h" 1;
+        Obs.observe "h" 7)
+  in
+  Alcotest.(check (list (pair string int)))
+    "counters sorted and summed"
+    [ ("a", 3); ("b", 2) ]
+    r.Obs.counters;
+  (match r.Obs.stats with
+  | [ ("h", s) ] ->
+      check_int "count" 3 s.Obs.count;
+      check_int "sum" 12 s.Obs.sum;
+      check_int "min" 1 s.Obs.min;
+      check_int "max" 7 s.Obs.max
+  | _ -> Alcotest.fail "expected one histogram");
+  check "no events without ~trace" true (r.Obs.events = [])
+
+let test_tracing_captures_events () =
+  let (), r =
+    Obs.record ~trace:true (fun () ->
+        check "tracing on" true (Obs.tracing ());
+        for round = 0 to 2 do
+          if Obs.tracing () then
+            Obs.emit { Obs.round; label = "tick"; fields = [ ("v", round * 10) ] }
+        done)
+  in
+  check_int "three events" 3 (List.length r.Obs.events);
+  check "chronological" true
+    (List.map (fun e -> e.Obs.round) r.Obs.events = [ 0; 1; 2 ])
+
+(* Satellite: with tracing disabled (the default record), emit guards
+   must keep the event list empty even though the same code path runs. *)
+let test_disabled_tracing_zero_events () =
+  let (), r =
+    Obs.record (fun () ->
+        check "recording but not tracing" true
+          (Obs.recording () && not (Obs.tracing ()));
+        for round = 0 to 99 do
+          if Obs.tracing () then
+            Obs.emit { Obs.round; label = "tick"; fields = [] }
+        done)
+  in
+  check_int "zero events" 0 (List.length r.Obs.events)
+
+let test_nesting_restores_outer () =
+  let (), outer =
+    Obs.record (fun () ->
+        Obs.incr "outer";
+        let (), inner = Obs.record (fun () -> Obs.incr "inner") in
+        check "inner isolated" true (inner.Obs.counters = [ ("inner", 1) ]);
+        check "outer restored" true (Obs.recording ());
+        Obs.incr "outer")
+  in
+  check "inner did not leak into outer" true
+    (outer.Obs.counters = [ ("outer", 2) ])
+
+let test_restores_on_exception () =
+  (match Obs.record (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure");
+  check "recorder uninstalled after raise" false (Obs.recording ())
+
+(* ------------------------------------------------------------------ *)
+(* Disabled path                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_noop_without_recorder () =
+  check "not recording" false (Obs.recording ());
+  check "not tracing" false (Obs.tracing ());
+  (* none of these may raise or have an observable effect *)
+  Obs.incr "x";
+  Obs.add "x" 5;
+  Obs.observe "x" 1;
+  Obs.emit { Obs.round = 0; label = "x"; fields = [] };
+  let (), r = Obs.record (fun () -> ()) in
+  check "prior no-ops not buffered" true (r.Obs.counters = [])
+
+(* Tentpole contract: instrumented hot paths cost nothing when no
+   recorder is installed — in particular they allocate nothing, so the
+   minor heap does not move across a large loop of counter calls. *)
+let test_disabled_path_allocates_nothing () =
+  check "precondition: disabled" false (Obs.recording ());
+  (* warm up so any one-time lazy initialisation is out of the way *)
+  Obs.incr "warm";
+  Obs.observe "warm" 1;
+  let before = Gc.minor_words () in
+  for i = 0 to 99_999 do
+    Obs.incr "hot";
+    Obs.add "hot" i;
+    Obs.observe "hot" i
+  done;
+  let allocated = Gc.minor_words () -. before in
+  (* the Gc.minor_words calls themselves may cost a couple of words *)
+  check "disabled instrumentation allocates nothing" true (allocated < 64.0)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_merge_counters () =
+  let a = [ ("a", 1); ("c", 2) ] and b = [ ("b", 5); ("c", 3) ] in
+  let m = Obs.merge_counters a b in
+  check "pointwise sum, sorted" true (m = [ ("a", 1); ("b", 5); ("c", 5) ]);
+  check "commutative" true (m = Obs.merge_counters b a);
+  check "identity" true (Obs.merge_counters [] a = a)
+
+let prop_merge_associative_commutative =
+  let snapshot =
+    QCheck.(
+      map
+        (fun kvs ->
+          List.fold_left
+            (fun acc (k, v) ->
+              Obs.merge_counters acc [ (String.make 1 (Char.chr (97 + k)), v) ])
+            []
+            kvs)
+        (small_list (pair (int_range 0 4) (int_range 0 9))))
+  in
+  QCheck.Test.make ~name:"merge_counters associative + commutative" ~count:200
+    QCheck.(triple snapshot snapshot snapshot)
+    (fun (a, b, c) ->
+      Obs.merge_counters a b = Obs.merge_counters b a
+      && Obs.merge_counters (Obs.merge_counters a b) c
+         = Obs.merge_counters a (Obs.merge_counters b c))
+
+let test_flatten_stats () =
+  let (), r =
+    Obs.record (fun () ->
+        Obs.observe "h" 2;
+        Obs.observe "h" 5)
+  in
+  check "flattened to summable pairs" true
+    (Obs.flatten_stats r.Obs.stats = [ ("h.count", 2); ("h.sum", 7) ])
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [
+      ( "capture",
+        [
+          Alcotest.test_case "counters and stats" `Quick test_counters_and_stats;
+          Alcotest.test_case "tracing events" `Quick test_tracing_captures_events;
+          Alcotest.test_case "disabled tracing: zero events" `Quick
+            test_disabled_tracing_zero_events;
+          Alcotest.test_case "nesting restores outer" `Quick
+            test_nesting_restores_outer;
+          Alcotest.test_case "restores on exception" `Quick
+            test_restores_on_exception;
+        ] );
+      ( "disabled path",
+        [
+          Alcotest.test_case "no-op without recorder" `Quick
+            test_noop_without_recorder;
+          Alcotest.test_case "allocates nothing" `Quick
+            test_disabled_path_allocates_nothing;
+        ] );
+      ( "aggregation",
+        Alcotest.test_case "merge_counters" `Quick test_merge_counters
+        :: Alcotest.test_case "flatten_stats" `Quick test_flatten_stats
+        :: qt [ prop_merge_associative_commutative ] );
+    ]
