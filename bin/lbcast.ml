@@ -25,6 +25,8 @@ module EIG = Lbc_consensus.Baseline_eig
 module Relay = Lbc_consensus.Baseline_relay
 module S = Lbc_adversary.Strategy
 module Gadget = Lbc_lowerbound.Gadget
+module Perturb = Lbc_sim.Perturb
+module Engine = Lbc_sim.Engine
 
 (* ------------------------------------------------------------------ *)
 (* Parsers                                                              *)
@@ -177,6 +179,14 @@ let inputs_conv =
       fun fmt a ->
         Array.iter (fun b -> Format.pp_print_string fmt (Bit.to_string b)) a )
 
+let chaos_conv =
+  Cmdliner.Arg.conv
+    ( (fun s ->
+        match Perturb.parse s with
+        | Ok spec -> Ok spec
+        | Error m -> Error (`Msg m)),
+      Perturb.pp )
+
 (* ------------------------------------------------------------------ *)
 (* check                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -230,7 +240,8 @@ let do_gen g dot =
 (* run                                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let do_run g algo f t inputs faulty equivocators strategy seed stats trace =
+let do_run g algo f t inputs faulty equivocators strategy seed chaos
+    max_rounds stats trace =
   let n = G.size g in
   let inputs =
     match inputs with
@@ -268,16 +279,34 @@ let do_run g algo f t inputs faulty equivocators strategy seed stats trace =
           other;
         exit 2
   in
+  let execute () =
+    let perturbed () =
+      match chaos with
+      | None -> execute ()
+      | Some spec -> Perturb.with_chaos spec ~seed execute
+    in
+    match max_rounds with
+    | None -> perturbed ()
+    | Some budget -> Engine.with_fuel ~budget perturbed
+  in
   (* Observability is opt-in: without --stats/--trace no recorder is
      installed and the instrumentation stays on its zero-cost path. *)
   let observe = stats || trace <> None in
   let o, report =
-    if observe then
-      Lbc_obs.Obs.record ~trace:(trace <> None) execute
-    else
-      ( execute (),
-        { Lbc_obs.Obs.counters = []; stats = []; events = [] } )
+    try
+      if observe then
+        Lbc_obs.Obs.record ~trace:(trace <> None) execute
+      else
+        ( execute (),
+          { Lbc_obs.Obs.counters = []; stats = []; events = [] } )
+    with Engine.Fuel_exhausted { budget } ->
+      Printf.eprintf "run exceeded the %d-round budget (--max-rounds)\n" budget;
+      exit 4
   in
+  (match chaos with
+  | Some spec when not (Perturb.is_zero spec) ->
+      Printf.printf "chaos    : %s\n" (Perturb.to_string spec)
+  | _ -> ());
   Printf.printf "inputs   : %s\n"
     (String.concat "" (Array.to_list (Array.map Bit.to_string inputs)));
   Printf.printf "faulty   : %s (strategy %s)\n" (Nodeset.to_string faulty)
@@ -476,9 +505,10 @@ let custom_grid spec f algo =
   Campaign.Grid.product ~name:"custom"
     ~graphs:[ (spec, f, build) ]
     ~algos ~placements:Campaign.Grid.placements_up_to_f
-    ~strategies:S.kinds_lbc ~inputs:Campaign.Grid.unanimous_inputs
+    ~strategies:S.kinds_lbc ~inputs:Campaign.Grid.unanimous_inputs ()
 
-let do_campaign exp gspec algo f quick domains seed shard_size out max_shards =
+let do_campaign exp gspec algo f quick domains seed shard_size out max_shards
+    chaos max_rounds strict =
   let grid =
     match (exp, gspec) with
     | Some name, _ -> (
@@ -492,6 +522,11 @@ let do_campaign exp gspec algo f quick domains seed shard_size out max_shards =
     | None, None ->
         Printf.eprintf "campaign needs --exp NAME or -g GRAPH\n";
         exit 2
+  in
+  let grid =
+    match chaos with
+    | None -> grid
+    | Some spec -> Campaign.Grid.with_chaos spec grid
   in
   let out =
     match out with
@@ -509,6 +544,8 @@ let do_campaign exp gspec algo f quick domains seed shard_size out max_shards =
         Some
           (fun ~done_shards ~total_shards ->
             Printf.eprintf "\r  shard %d/%d%!" done_shards total_shards);
+      max_rounds;
+      strict;
     }
   in
   let warn_dropped dropped =
@@ -546,8 +583,18 @@ let do_campaign exp gspec algo f quick domains seed shard_size out max_shards =
       Printf.printf "summary    : %s\n"
         (Format.asprintf "%a" Campaign.Artifact.pp_summary s);
       Printf.printf "artifact   : %s\n" out;
-      if s.Campaign.Artifact.violations > 0 then begin
-        Printf.printf "violations:\n";
+      List.iter
+        (fun (q : Campaign.Artifact.quarantined) ->
+          Printf.printf "quarantined: shard %d: %s\n" q.Campaign.Artifact.shard
+            q.Campaign.Artifact.message)
+        artifact.Campaign.Artifact.quarantined;
+      let bad =
+        s.Campaign.Artifact.violations + s.Campaign.Artifact.crashed
+        + s.Campaign.Artifact.timeouts
+        + s.Campaign.Artifact.quarantined_shards
+      in
+      if bad > 0 then begin
+        Printf.printf "failures:\n";
         let shown = ref 0 in
         Array.iter
           (fun (v : Campaign.Scenario.verdict) ->
@@ -596,13 +643,24 @@ let do_report path fingerprint stats =
             (Format.asprintf "%a" Campaign.Stats.pp
                artifact.Campaign.Artifact.stats)
         end;
+        List.iter
+          (fun (q : Campaign.Artifact.quarantined) ->
+            Printf.printf "quarantined: shard %d: %s\n"
+              q.Campaign.Artifact.shard q.Campaign.Artifact.message)
+          artifact.Campaign.Artifact.quarantined;
         Array.iter
           (fun (v : Campaign.Scenario.verdict) ->
             if not v.Campaign.Scenario.ok then
               Printf.printf "  %s\n"
                 (Format.asprintf "%a" Campaign.Scenario.pp_verdict v))
           artifact.Campaign.Artifact.verdicts;
-        if s.Campaign.Artifact.violations > 0 then 1 else 0
+        if
+          s.Campaign.Artifact.violations + s.Campaign.Artifact.crashed
+          + s.Campaign.Artifact.timeouts
+          + s.Campaign.Artifact.quarantined_shards
+          > 0
+        then 1
+        else 0
       end
 
 (* ------------------------------------------------------------------ *)
@@ -696,6 +754,26 @@ let run_cmd =
   let seed =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
   in
+  let chaos =
+    Arg.(
+      value
+      & opt (some chaos_conv) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Environment perturbation around the run: a comma-separated \
+             key=value list with keys drop, dup, delay, delay-p, crash, \
+             crash-len (e.g. drop=0.1,delay=2,delay-p=0.25). Deterministic \
+             given --seed; 'none' disables.")
+  in
+  let max_rounds =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-rounds" ] ~docv:"N"
+          ~doc:
+            "Round budget: abort with exit code 4 once the engine has \
+             executed N rounds (catches livelock under --chaos).")
+  in
   let stats =
     Arg.(
       value & flag
@@ -703,7 +781,7 @@ let run_cmd =
           ~doc:
             "Print observability counters and histograms (flood store \
              sizes, packing search effort, fault-discovery evidence, \
-             per-phase tallies) after the run.")
+             perturbation tallies, per-phase tallies) after the run.")
   in
   let trace =
     Arg.(
@@ -718,7 +796,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Simulate a consensus algorithm under an adversary.")
     Term.(
       const do_run $ graph_arg $ algo $ f_arg $ t_arg $ inputs $ faulty
-      $ equivocators $ strategy $ seed $ stats $ trace)
+      $ equivocators $ strategy $ seed $ chaos $ max_rounds $ stats $ trace)
 
 let attack_cmd =
   let lemma =
@@ -868,6 +946,36 @@ let campaign_cmd =
             "Stop after completing N new shards, leaving the checkpoint for \
              a later resume.")
   in
+  let chaos =
+    Arg.(
+      value
+      & opt (some chaos_conv) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Install this environment perturbation (see $(b,run --chaos)) \
+             on every scenario of the grid, overriding any per-scenario \
+             spec. The determinism contract still holds: perturbation is \
+             seeded per scenario.")
+  in
+  let max_rounds =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-rounds" ] ~docv:"N"
+          ~doc:
+            "Per-scenario engine-round budget; an execution that exhausts \
+             it gets a timeout verdict instead of hanging its worker \
+             domain.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Fail fast: abort the whole campaign on the first crashed or \
+             timed-out scenario instead of recording a verdict and \
+             continuing.")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
@@ -876,7 +984,7 @@ let campaign_cmd =
           resume, and write a versioned JSON results artifact.")
     Term.(
       const do_campaign $ exp $ gspec $ algo $ f_arg $ quick $ domains $ seed
-      $ shard_size $ out $ max_shards)
+      $ shard_size $ out $ max_shards $ chaos $ max_rounds $ strict)
 
 let report_cmd =
   let path =

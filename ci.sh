@@ -1,14 +1,21 @@
 #!/bin/sh
 # CI entry point: build, run the full test suite, then smoke campaigns
 # exercising the lib/campaign subsystem end-to-end:
-#   - a 2-domain run over the 5-cycle E1 grid whose lbc-campaign/2
+#   - a 2-domain run over the 5-cycle E1 grid whose lbc-campaign/3
 #     artifact must parse, record zero violations and carry a stats
 #     section (`lbcast report` exits non-zero otherwise);
 #   - the same grid on 1 domain, whose fingerprint (the digest of the
 #     deterministic portion, timing excluded) must be byte-identical;
 #   - the n100 grid — one Algorithm 2 scenario on a 100-node cycle,
 #     the regression for the former 62-node packing ceiling;
-#   - a migration check: a legacy lbc-campaign/1 artifact must be
+#   - the chaos-smoke grid — perturbed runs plus a crashing scenario
+#     (Model_violation) and a budget-exceeding one: the campaign must
+#     COMPLETE (contained CRASHED / TIMEOUT verdicts, exit 1 because
+#     failures are present), with fingerprints identical across domain
+#     counts even under perturbation;
+#   - a perturbed single run whose --stats output must show perturb.*
+#     counters, and a --max-rounds exhaustion that must exit 4;
+#   - migration checks: legacy lbc-campaign/1 and /2 artifacts must be
 #     rejected with a clear version message, not misparsed.
 set -eu
 
@@ -55,13 +62,68 @@ grep -q 'flood.accept' "$tmp/run.txt" \
 grep -q 'engine.round' "$tmp/run.trace" \
   || { echo "FAIL: trace file has no engine.round events"; exit 1; }
 
-echo "== lbc-campaign/1 artifact rejected =="
-printf '{"format":"lbc-campaign/1","campaign":"old"}\n' > "$tmp/v1.json"
-if dune exec bin/lbcast.exe -- report "$tmp/v1.json" 2> "$tmp/v1.err"; then
-  echo "FAIL: lbc-campaign/1 artifact was accepted"; exit 1
-fi
-grep -q 'lbc-campaign/2' "$tmp/v1.err" \
-  || { echo "FAIL: v1 rejection does not name the expected format"; exit 1; }
-cat "$tmp/v1.err"
+echo "== run --chaos smoke (perturb counters) =="
+dune exec bin/lbcast.exe -- run -g cycle:5 -a a2 -f 1 --faulty 2 \
+  --chaos drop=0.2,dup=0.1,delay=2 --seed 7 --stats \
+  | tee "$tmp/chaos_run.txt"
+grep -q 'perturb.dropped' "$tmp/chaos_run.txt" \
+  || { echo "FAIL: chaos run printed no perturb.dropped counter"; exit 1; }
+
+echo "== run --max-rounds exhaustion exits 4 =="
+set +e
+dune exec bin/lbcast.exe -- run -g petersen -a a1 -f 1 --faulty 3 \
+  --max-rounds 10 2> "$tmp/fuel.err"
+fuel_rc=$?
+set -e
+[ "$fuel_rc" -eq 4 ] \
+  || { echo "FAIL: --max-rounds exhaustion exited $fuel_rc, want 4"; exit 1; }
+grep -q 'round budget' "$tmp/fuel.err" \
+  || { echo "FAIL: fuel exhaustion message missing"; exit 1; }
+
+echo "== chaos-smoke campaign: crashes and timeouts are contained =="
+# This grid deliberately contains a Model_violation scenario and a
+# 110-round Petersen run under a 60-round budget: the campaign must run
+# to Complete with contained verdicts, and exit 1 because failures exist.
+set +e
+dune exec bin/lbcast.exe -- campaign --exp chaos-smoke --domains 2 \
+  --max-rounds 60 --out "$tmp/chaos2.json" > "$tmp/chaos2.txt" 2>&1
+chaos_rc=$?
+set -e
+[ "$chaos_rc" -eq 1 ] \
+  || { echo "FAIL: chaos-smoke exited $chaos_rc, want 1 (contained failures)";
+       cat "$tmp/chaos2.txt"; exit 1; }
+dune exec bin/lbcast.exe -- report --stats "$tmp/chaos2.json" \
+  > "$tmp/chaos_report.txt" 2>&1 || true
+grep -q 'CRASHED' "$tmp/chaos_report.txt" \
+  || { echo "FAIL: chaos-smoke report shows no CRASHED verdict"; exit 1; }
+grep -q 'TIMEOUT' "$tmp/chaos_report.txt" \
+  || { echo "FAIL: chaos-smoke report shows no TIMEOUT verdict"; exit 1; }
+grep -q 'perturb.dropped' "$tmp/chaos_report.txt" \
+  || { echo "FAIL: chaos-smoke stats show no perturb counters"; exit 1; }
+
+echo "== chaos fingerprint identical across domain counts =="
+set +e
+dune exec bin/lbcast.exe -- campaign --exp chaos-smoke --domains 1 \
+  --max-rounds 60 --out "$tmp/chaos1.json" > /dev/null 2>&1
+set -e
+cfp1=$(dune exec bin/lbcast.exe -- report --fingerprint "$tmp/chaos1.json")
+cfp2=$(dune exec bin/lbcast.exe -- report --fingerprint "$tmp/chaos2.json")
+[ "$cfp1" = "$cfp2" ] \
+  || { echo "FAIL: chaos fingerprint differs across domain counts"; exit 1; }
+echo "chaos fingerprint $cfp1 (1 vs 2 domains)"
+
+echo "== legacy artifacts rejected =="
+for v in 1 2; do
+  printf '{"format":"lbc-campaign/%s","campaign":"old"}\n' "$v" \
+    > "$tmp/old.json"
+  if dune exec bin/lbcast.exe -- report "$tmp/old.json" 2> "$tmp/old.err"
+  then
+    echo "FAIL: lbc-campaign/$v artifact was accepted"; exit 1
+  fi
+  grep -q 'lbc-campaign/3' "$tmp/old.err" \
+    || { echo "FAIL: v$v rejection does not name the expected format";
+         exit 1; }
+  cat "$tmp/old.err"
+done
 
 echo "CI OK"

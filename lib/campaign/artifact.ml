@@ -6,6 +6,8 @@ type run_info = {
   dropped_lines : int;
 }
 
+type quarantined = { shard : int; message : string }
+
 type t = {
   campaign : string;
   count : int;
@@ -14,23 +16,30 @@ type t = {
   grid_fingerprint : string;
   verdicts : Scenario.verdict array;
   stats : Stats.t;
+  quarantined : quarantined list;
   run : run_info;
 }
 
-(* /2: adds the deterministic [stats] section (per-algo counter
-   aggregates) and [run.dropped_lines]. /1 artifacts are rejected by the
-   format check in [of_string]. *)
-let version = 2
+(* /3: verdicts carry a status (checked / timeout / crashed) and a new
+   top-level [quarantined] section lists shards whose execution failed
+   twice at the infrastructure level (their scenarios appear as crashed
+   verdicts). /1 and /2 artifacts are rejected by the format check in
+   [of_string]. *)
+let version = 3
 let format_tag = Printf.sprintf "lbc-campaign/%d" version
 
 type summary = {
   total : int;
+  checked : int;
   ok : int;
   violations : int;
   agreement_failures : int;
   validity_failures : int;
   termination_failures : int;
   decision_mismatches : int;
+  crashed : int;
+  timeouts : int;
+  quarantined_shards : int;
   rounds_max : int;
   transmissions_total : int;
 }
@@ -40,12 +49,16 @@ let summarize t =
     ref
       {
         total = Array.length t.verdicts;
+        checked = 0;
         ok = 0;
         violations = 0;
         agreement_failures = 0;
         validity_failures = 0;
         termination_failures = 0;
         decision_mismatches = 0;
+        crashed = 0;
+        timeouts = 0;
+        quarantined_shards = List.length t.quarantined;
         rounds_max = 0;
         transmissions_total = 0;
       }
@@ -54,35 +67,46 @@ let summarize t =
     (fun (v : Scenario.verdict) ->
       let c = !s in
       s :=
-        {
-          c with
-          ok = (c.ok + if v.Scenario.ok then 1 else 0);
-          agreement_failures =
-            (c.agreement_failures + if v.Scenario.agreement then 0 else 1);
-          validity_failures =
-            (c.validity_failures + if v.Scenario.validity then 0 else 1);
-          termination_failures =
-            (c.termination_failures + if v.Scenario.termination then 0 else 1);
-          decision_mismatches =
-            (c.decision_mismatches
-            +
-            match (v.Scenario.expected, v.Scenario.decision) with
-            | Some e, Some d when not (Lbc_consensus.Bit.equal e d) -> 1
-            | Some _, None -> 1
-            | _ -> 0);
-          rounds_max = max c.rounds_max v.Scenario.rounds;
-          transmissions_total = c.transmissions_total + v.Scenario.transmissions;
-        })
+        (match v.Scenario.status with
+        | Scenario.Crashed _ -> { c with crashed = c.crashed + 1 }
+        | Scenario.Timed_out _ -> { c with timeouts = c.timeouts + 1 }
+        | Scenario.Checked ->
+            (* Only checked executions speak to the paper's properties —
+               a crashed or timed-out scenario is not an agreement
+               failure, it is an unjudged one. *)
+            {
+              c with
+              checked = c.checked + 1;
+              ok = (c.ok + if v.Scenario.ok then 1 else 0);
+              agreement_failures =
+                (c.agreement_failures + if v.Scenario.agreement then 0 else 1);
+              validity_failures =
+                (c.validity_failures + if v.Scenario.validity then 0 else 1);
+              termination_failures =
+                (c.termination_failures
+                + if v.Scenario.termination then 0 else 1);
+              decision_mismatches =
+                (c.decision_mismatches
+                +
+                match (v.Scenario.expected, v.Scenario.decision) with
+                | Some e, Some d when not (Lbc_consensus.Bit.equal e d) -> 1
+                | Some _, None -> 1
+                | _ -> 0);
+              rounds_max = max c.rounds_max v.Scenario.rounds;
+              transmissions_total =
+                c.transmissions_total + v.Scenario.transmissions;
+            }))
     t.verdicts;
-  { !s with violations = !s.total - !s.ok }
+  { !s with violations = !s.checked - !s.ok }
 
 let pp_summary fmt s =
   Format.fprintf fmt
-    "%d scenarios, %d ok, %d violations (agreement %d, validity %d, \
-     termination %d, decision %d); max rounds %d, %d transmissions"
-    s.total s.ok s.violations s.agreement_failures s.validity_failures
-    s.termination_failures s.decision_mismatches s.rounds_max
-    s.transmissions_total
+    "%d scenarios, %d checked, %d ok, %d violations (agreement %d, validity \
+     %d, termination %d, decision %d), %d crashed, %d timeouts, %d \
+     quarantined shards; max rounds %d, %d transmissions"
+    s.total s.checked s.ok s.violations s.agreement_failures
+    s.validity_failures s.termination_failures s.decision_mismatches s.crashed
+    s.timeouts s.quarantined_shards s.rounds_max s.transmissions_total
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
@@ -104,17 +128,28 @@ let grid_fields t =
       Jsonio.List
         (Array.to_list (Array.map Scenario.verdict_to_json t.verdicts)) );
     ("stats", Stats.to_json t.stats);
+    ( "quarantined",
+      Jsonio.List
+        (List.map
+           (fun q ->
+             Jsonio.Obj
+               [ ("shard", Jsonio.Int q.shard); ("message", Jsonio.Str q.message) ])
+           t.quarantined) );
     ( "summary",
       let s = summarize t in
       Jsonio.Obj
         [
           ("total", Jsonio.Int s.total);
+          ("checked", Jsonio.Int s.checked);
           ("ok", Jsonio.Int s.ok);
           ("violations", Jsonio.Int s.violations);
           ("agreement_failures", Jsonio.Int s.agreement_failures);
           ("validity_failures", Jsonio.Int s.validity_failures);
           ("termination_failures", Jsonio.Int s.termination_failures);
           ("decision_mismatches", Jsonio.Int s.decision_mismatches);
+          ("crashed", Jsonio.Int s.crashed);
+          ("timeouts", Jsonio.Int s.timeouts);
+          ("quarantined_shards", Jsonio.Int s.quarantined_shards);
           ("rounds_max", Jsonio.Int s.rounds_max);
           ("transmissions_total", Jsonio.Int s.transmissions_total);
         ] );
@@ -181,6 +216,20 @@ let of_string s =
       | None -> Ok Stats.empty
       | Some sj -> Stats.of_json sj
     in
+    let quarantined =
+      match Option.bind (Jsonio.member "quarantined" j) Jsonio.to_list with
+      | None -> []
+      | Some qs ->
+          List.filter_map
+            (fun q ->
+              match
+                ( Option.bind (Jsonio.member "shard" q) Jsonio.to_int,
+                  Option.bind (Jsonio.member "message" q) Jsonio.to_str )
+              with
+              | Some shard, Some message -> Some { shard; message }
+              | _ -> None)
+            qs
+    in
     let run =
       match Jsonio.member "run" j with
       | None ->
@@ -230,6 +279,7 @@ let of_string s =
         grid_fingerprint;
         verdicts;
         stats;
+        quarantined;
         run;
       }
 

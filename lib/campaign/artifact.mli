@@ -25,6 +25,16 @@ type run_info = {
           after a mid-append kill, more suggests corruption *)
 }
 
+type quarantined = {
+  shard : int;
+  message : string;
+      (** exception message of the shard's second (post-retry) failure *)
+}
+(** A shard whose execution failed twice at the infrastructure level
+    (checkpoint I/O, progress callback, …) and was quarantined by the
+    self-healing runner. Its scenarios appear in [verdicts] as
+    {!Scenario.Crashed} entries, so the verdict array stays complete. *)
+
 type t = {
   campaign : string;
   count : int;
@@ -35,6 +45,7 @@ type t = {
   stats : Stats.t;
       (** per-algorithm counter aggregates; part of the deterministic
           portion — byte-identical across domain counts *)
+  quarantined : quarantined list;  (** sorted by shard index *)
   run : run_info;
 }
 
@@ -43,16 +54,23 @@ val version : int
 
 type summary = {
   total : int;
+  checked : int;  (** verdicts whose execution completed and was judged *)
   ok : int;
-  violations : int;  (** [total - ok] *)
+  violations : int;  (** [checked - ok] *)
   agreement_failures : int;
   validity_failures : int;
   termination_failures : int;
   decision_mismatches : int;
       (** honest inputs unanimous but the decision differed *)
+  crashed : int;  (** {!Scenario.Crashed} verdicts *)
+  timeouts : int;  (** {!Scenario.Timed_out} verdicts *)
+  quarantined_shards : int;
   rounds_max : int;
   transmissions_total : int;
 }
+(** Property counters (agreement/validity/termination/decision) tally
+    {e checked} verdicts only: a crashed or timed-out scenario is
+    unjudged, not a property violation. *)
 
 val summarize : t -> summary
 val pp_summary : Format.formatter -> summary -> unit

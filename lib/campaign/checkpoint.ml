@@ -13,10 +13,10 @@ type entry = {
   stats : Stats.t;
 }
 
-(* /2: entries carry per-algo counter aggregates. Version mismatch is
-   handled by the header check — a /1 progress file is discarded as
-   stale, never mixed. *)
-let format_tag = "lbc-campaign-progress/2"
+(* /3: verdicts carry a status (checked / timeout / crashed). Version
+   mismatch is handled by the header check — a /1 or /2 progress file is
+   discarded as stale, never mixed. *)
+let format_tag = "lbc-campaign-progress/3"
 
 let header_json h =
   Jsonio.Obj

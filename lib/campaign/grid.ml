@@ -37,7 +37,8 @@ let fingerprint scenarios =
 (* Cartesian products                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let product ~name ~graphs ~algos ~placements ~strategies ~inputs =
+let product ?(chaos = [ None ]) ~name ~graphs ~algos ~placements ~strategies
+    ~inputs () =
   let scenarios =
     Seq.concat_map
       (fun (gname, f, build) ->
@@ -49,10 +50,13 @@ let product ~name ~graphs ~algos ~placements ~strategies ~inputs =
               (fun faulty ->
                 Seq.concat_map
                   (fun strategy ->
-                    Seq.map
+                    Seq.concat_map
                       (fun iv ->
-                        Scenario.make ~gname ~build ~algo ~f ~faulty ~strategy
-                          ~inputs:iv ())
+                        Seq.map
+                          (fun ch ->
+                            Scenario.make ~gname ~build ~algo ~f ~faulty
+                              ~strategy ~inputs:iv ?chaos:ch ())
+                          (List.to_seq chaos))
                       (List.to_seq (inputs g ~faulty)))
                   (List.to_seq strategies))
               (List.to_seq (placements g ~f)))
@@ -60,6 +64,15 @@ let product ~name ~graphs ~algos ~placements ~strategies ~inputs =
       (List.to_seq graphs)
   in
   { name; scenarios }
+
+let with_chaos spec t =
+  {
+    t with
+    scenarios =
+      Seq.map (fun s -> { s with Scenario.chaos = Some spec }) t.scenarios;
+  }
+
+let chaos_points specs = List.map Option.some specs
 
 (* ------------------------------------------------------------------ *)
 (* Axis helpers                                                        *)

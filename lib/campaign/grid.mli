@@ -36,6 +36,7 @@ val fingerprint : Scenario.t array -> string
 (** {1 Cartesian-product construction} *)
 
 val product :
+  ?chaos:Lbc_sim.Perturb.spec option list ->
   name:string ->
   graphs:(string * int * (unit -> Lbc_graph.Graph.t)) list ->
   algos:Scenario.algo list ->
@@ -45,12 +46,24 @@ val product :
     (Lbc_graph.Graph.t ->
     faulty:Lbc_graph.Nodeset.t ->
     Lbc_consensus.Bit.t array list) ->
+  unit ->
   t
 (** [product] enumerates graphs (each [(spec, f, build)]) × algorithms ×
-    fault placements × strategies × input vectors, in exactly that
-    nesting order (inputs vary fastest). [placements] and [inputs] are
-    evaluated against a graph instance built once at enumeration time;
-    executions build their own instances. *)
+    fault placements × strategies × input vectors × chaos points, in
+    exactly that nesting order (chaos varies fastest, then inputs).
+    [chaos] defaults to [[None]] — one unperturbed point per cell, which
+    leaves the enumeration (and so every existing grid fingerprint)
+    unchanged. [placements] and [inputs] are evaluated against a graph
+    instance built once at enumeration time; executions build their own
+    instances. *)
+
+val with_chaos : Lbc_sim.Perturb.spec -> t -> t
+(** Install one perturbation spec on every scenario of a grid (the
+    whole-grid analogue of the [chaos] axis). *)
+
+val chaos_points : Lbc_sim.Perturb.spec list -> Lbc_sim.Perturb.spec option list
+(** Wrap specs for the [chaos] axis: [chaos_points [a; b]] sweeps [a]
+    and [b]; prepend [None] yourself to keep an unperturbed point. *)
 
 (** {1 Axis helpers} *)
 

@@ -3,6 +3,7 @@ module G = Lbc_graph.Graph
 module Nodeset = Lbc_graph.Nodeset
 module Bit = Lbc_consensus.Bit
 module S = Lbc_adversary.Strategy
+module P = Lbc_sim.Perturb
 
 let all_one g ~faulty:_ = [ Array.make (G.size g) Bit.One ]
 
@@ -16,7 +17,7 @@ let e1 ?(inputs = `All) ?(quick = false) () =
   Grid.product ~name:"e1"
     ~graphs:[ ("fig1a", 1, B.fig1a) ]
     ~algos:[ Scenario.A1; Scenario.A2 ]
-    ~placements:Grid.singleton_placements ~strategies ~inputs
+    ~placements:Grid.singleton_placements ~strategies ~inputs ()
 
 let e2 ?(quick = false) () =
   let representative =
@@ -27,7 +28,7 @@ let e2 ?(quick = false) () =
         List.map Nodeset.of_list
           (if quick then [ [ 0; 1 ] ] else [ [ 0; 1 ]; [ 0; 4 ]; [ 2; 6 ] ]))
       ~strategies:[ S.Flip_forwards; S.Lie ]
-      ~inputs:Grid.unanimous_inputs
+      ~inputs:Grid.unanimous_inputs ()
   in
   if quick then { representative with Grid.name = "e2" }
   else
@@ -41,7 +42,7 @@ let e2 ?(quick = false) () =
             S.Flip_forwards; S.Silent; S.Omit_from (Nodeset.of_list [ 2; 3 ]);
             S.Noise 2;
           ]
-        ~inputs:Grid.unanimous_inputs
+        ~inputs:Grid.unanimous_inputs ()
     in
     Grid.append ~name:"e2" [ representative; exhaustive ]
 
@@ -61,6 +62,7 @@ let e5 ?(sizes = default_e5_sizes) () =
       let v = Array.make n Bit.One in
       v.(n / 2) <- Bit.Zero;
       [ v ])
+    ()
 
 let e8 ?(quick = false) () =
   let fig1 =
@@ -73,7 +75,7 @@ let e8 ?(quick = false) () =
         [ (if G.size g = 5 then Nodeset.singleton 2
            else Nodeset.of_list (if f = 2 then [ 0; 4 ] else [ 2 ])) ])
       ~strategies:[ S.Flip_forwards ]
-      ~inputs:all_one
+      ~inputs:all_one ()
   in
   if quick then { fig1 with Grid.name = "e8" }
   else
@@ -84,12 +86,12 @@ let e8 ?(quick = false) () =
             ~graphs:[ ("wheel:7", 1, fun () -> B.wheel 7) ]
             ~algos:[ Scenario.Relay ]
             ~placements:(fun _ ~f:_ -> [ Nodeset.singleton 3 ])
-            ~strategies:[ S.Equivocate ] ~inputs:all_one;
+            ~strategies:[ S.Equivocate ] ~inputs:all_one ();
           Grid.product ~name:"eig"
             ~graphs:[ ("complete:7", 2, fun () -> B.complete 7) ]
             ~algos:[ Scenario.Eig ]
             ~placements:(fun _ ~f:_ -> [ Nodeset.of_list [ 1; 4 ] ])
-            ~strategies:[ S.Lie ] ~inputs:all_one;
+            ~strategies:[ S.Lie ] ~inputs:all_one ();
         ]
     in
     Grid.append ~name:"e8" [ fig1; baselines ]
@@ -107,9 +109,65 @@ let n100 () =
     ~algos:[ Scenario.A2 ]
     ~placements:(fun _ ~f:_ -> [ Nodeset.singleton (n / 2) ])
     ~strategies:[ S.Flip_forwards ]
-    ~inputs:all_one
+    ~inputs:all_one ()
 
-let names = [ "e1"; "e1-unanimous"; "e2"; "e5"; "e8"; "smoke"; "n100" ]
+(* Degradation study (bench E-series): sweep perturbation intensity for
+   A1 and A2 on a 7-cycle, honest-behaving and tampering fault, flipped
+   unanimous inputs. [None] first keeps an unperturbed baseline point in
+   every cell. *)
+let degradation_points =
+  [
+    { P.zero with P.drop = 0.02 };
+    { P.zero with P.drop = 0.05 };
+    { P.zero with P.drop = 0.1 };
+    { P.zero with P.dup = 0.1 };
+    { P.zero with P.delay = 2; P.delay_p = 0.25 };
+    { P.zero with P.crash = 0.02; P.crash_len = 2 };
+  ]
+
+let edeg () =
+  Grid.product ~name:"edeg"
+    ~chaos:(None :: Grid.chaos_points degradation_points)
+    ~graphs:[ ("cycle:7", 1, fun () -> B.cycle 7) ]
+    ~algos:[ Scenario.A1; Scenario.A2 ]
+    ~placements:(fun _ ~f:_ -> [ Nodeset.singleton 3 ])
+    ~strategies:[ S.Honest_behavior; S.Flip_forwards ]
+    ~inputs:Grid.unanimous_inputs ()
+
+(* Containment smoke: a few perturbed consensus runs, one scenario whose
+   execution raises (Equivocate under the pure local broadcast model hits
+   [Engine.Model_violation]), and one long A1 run (110 rounds on the
+   Petersen graph) that times out under a modest [--max-rounds] budget.
+   Exercises the Crashed / Timed_out verdict paths end to end. *)
+let chaos_smoke () =
+  let drop = { P.zero with P.drop = 0.1 } in
+  let perturbed =
+    Grid.product ~name:"chaos-drop"
+      ~chaos:[ Some drop ]
+      ~graphs:[ ("cycle:5", 1, fun () -> B.cycle 5) ]
+      ~algos:[ Scenario.A1; Scenario.A2 ]
+      ~placements:(fun _ ~f:_ -> [ Nodeset.singleton 2 ])
+      ~strategies:[ S.Flip_forwards ]
+      ~inputs:Grid.unanimous_inputs ()
+  in
+  let crashing =
+    Grid.product ~name:"chaos-crashing"
+      ~graphs:[ ("cycle:5", 1, fun () -> B.cycle 5) ]
+      ~algos:[ Scenario.A1 ]
+      ~placements:(fun _ ~f:_ -> [ Nodeset.singleton 2 ])
+      ~strategies:[ S.Equivocate ] ~inputs:all_one ()
+  in
+  let slow =
+    Grid.product ~name:"chaos-slow"
+      ~graphs:[ ("petersen", 1, B.petersen) ]
+      ~algos:[ Scenario.A1 ]
+      ~placements:(fun _ ~f:_ -> [ Nodeset.singleton 3 ])
+      ~strategies:[ S.Flip_forwards ] ~inputs:all_one ()
+  in
+  Grid.append ~name:"chaos-smoke" [ perturbed; crashing; slow ]
+
+let names =
+  [ "e1"; "e1-unanimous"; "e2"; "e5"; "e8"; "edeg"; "chaos-smoke"; "smoke"; "n100" ]
 
 let by_name ?(quick = false) = function
   | "e1" -> Some (e1 ~quick ())
@@ -117,6 +175,8 @@ let by_name ?(quick = false) = function
   | "e2" -> Some (e2 ~quick ())
   | "e5" -> Some (e5 ?sizes:(if quick then Some [ 5; 9; 13 ] else None) ())
   | "e8" -> Some (e8 ~quick ())
+  | "edeg" -> Some (edeg ())
+  | "chaos-smoke" -> Some (chaos_smoke ())
   | "smoke" -> Some (smoke ())
   | "n100" -> Some (n100 ())
   | _ -> None

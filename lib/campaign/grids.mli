@@ -27,6 +27,19 @@ val e8 : ?quick:bool -> unit -> Grid.t
 (** E8 — efficiency-gap measurements: A1 vs A2 on the Figure 1 graphs,
     plus the relay-EIG and EIG point-to-point baselines. *)
 
+val edeg : unit -> Grid.t
+(** Degradation study: A1 and A2 on a 7-cycle under a sweep of
+    environment perturbations (packet drop at three rates, duplication,
+    bounded delay, honest crash-restart), each cell also run unperturbed
+    as a baseline — the data source for the bench chaos table. *)
+
+val chaos_smoke : unit -> Grid.t
+(** Containment smoke for CI: perturbed consensus runs, a scenario that
+    raises {!Lbc_sim.Engine.Model_violation} (Equivocate under local
+    broadcast) and a 110-round Petersen run that exceeds modest
+    [max_rounds] budgets — drives the Crashed and Timed_out verdict
+    paths. *)
+
 val smoke : unit -> Grid.t
 (** The CI smoke campaign: {!e1} with unanimous inputs (220 scenarios) —
     small enough for a gate, broad enough to cross every strategy. *)
@@ -37,8 +50,8 @@ val n100 : unit -> Grid.t
     packing ceiling). *)
 
 val by_name : ?quick:bool -> string -> Grid.t option
-(** Look up ["e1"], ["e1-unanimous"], ["e2"], ["e5"], ["e8"], ["smoke"]
-    or ["n100"]. *)
+(** Look up ["e1"], ["e1-unanimous"], ["e2"], ["e5"], ["e8"], ["edeg"],
+    ["chaos-smoke"], ["smoke"] or ["n100"]. *)
 
 val names : string list
 (** The accepted {!by_name} arguments, for help text. *)

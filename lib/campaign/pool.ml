@@ -1,9 +1,28 @@
+type failure = {
+  index : int;
+  description : string;
+  message : string;
+  backtrace : string;
+  attempts : int;
+}
+
+exception Task_failed of failure
+
+let () =
+  Printexc.register_printer (function
+    | Task_failed fl ->
+        Some
+          (Printf.sprintf "Task_failed(task %d%s: %s)" fl.index
+             (if fl.description = "" then "" else " [" ^ fl.description ^ "]")
+             fl.message)
+    | _ -> None)
+
 type 'a shared = {
-  queue : 'a Queue.t;
+  queue : (int * 'a) Queue.t;
   mutex : Mutex.t;
   nonempty : Condition.t;
   mutable closed : bool;  (** no further tasks will be enqueued *)
-  mutable poisoned : exn option;  (** first failure; aborts the pool *)
+  mutable poisoned : failure option;  (** first failure; aborts the pool *)
 }
 
 let take sh =
@@ -24,41 +43,92 @@ let take sh =
   Mutex.unlock sh.mutex;
   r
 
-let poison sh exn =
+let poison sh fl =
   Mutex.lock sh.mutex;
-  if sh.poisoned = None then sh.poisoned <- Some exn;
+  if sh.poisoned = None then sh.poisoned <- Some fl;
   Condition.broadcast sh.nonempty;
   Mutex.unlock sh.mutex
 
-let worker sh f =
+let failure_of ~describe ~attempts i t exn bt =
+  {
+    index = i;
+    description = describe i t;
+    message = Printexc.to_string exn;
+    backtrace = Printexc.raw_backtrace_to_string bt;
+    attempts;
+  }
+
+let shared_of_tasks tasks =
+  let sh =
+    {
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      poisoned = None;
+    }
+  in
+  Array.iteri (fun i t -> Queue.add (i, t) sh.queue) tasks;
+  sh.closed <- true;
+  sh
+
+(* [exec] owns failure handling and must not raise; the worker loop
+   itself is exception-free. *)
+let worker sh exec =
   let rec go () =
     match take sh with
     | None -> ()
-    | Some t ->
-        (match f t with
-        | () -> ()
-        | exception exn -> poison sh exn);
+    | Some (i, t) ->
+        exec i t;
         go ()
   in
   go ()
 
-let run ~domains ~tasks f =
-  if domains <= 1 || Array.length tasks <= 1 then Array.iter f tasks
-  else begin
-    let sh =
-      {
-        queue = Queue.create ();
-        mutex = Mutex.create ();
-        nonempty = Condition.create ();
-        closed = false;
-        poisoned = None;
-      }
-    in
-    Array.iter (fun t -> Queue.add t sh.queue) tasks;
-    sh.closed <- true;
-    let spawned = min (domains - 1) (Array.length tasks - 1) in
-    let ds = List.init spawned (fun _ -> Domain.spawn (fun () -> worker sh f)) in
-    worker sh f;
-    List.iter Domain.join ds;
-    match sh.poisoned with Some exn -> raise exn | None -> ()
-  end
+(* The calling domain always runs a worker; extra domains join it when
+   both the budget and the task count warrant. Every execution path —
+   1 domain or N — goes through [worker]/[exec]. *)
+let drive sh ~domains ~tasks exec =
+  let spawned =
+    if domains <= 1 then 0 else min (domains - 1) (Array.length tasks - 1)
+  in
+  let ds =
+    List.init (max 0 spawned) (fun _ ->
+        Domain.spawn (fun () -> worker sh exec))
+  in
+  worker sh exec;
+  List.iter Domain.join ds
+
+let run ?(describe = fun _ _ -> "") ~domains ~tasks f =
+  let sh = shared_of_tasks tasks in
+  let exec i t =
+    match f t with
+    | () -> ()
+    | exception exn ->
+        let bt = Printexc.get_raw_backtrace () in
+        poison sh (failure_of ~describe ~attempts:1 i t exn bt)
+  in
+  drive sh ~domains ~tasks exec;
+  match sh.poisoned with Some fl -> raise (Task_failed fl) | None -> ()
+
+let run_contained ?(describe = fun _ _ -> "") ~domains ~tasks f =
+  let sh = shared_of_tasks tasks in
+  let failures_mutex = Mutex.create () in
+  let failures = ref [] in
+  let exec i t =
+    match f t with
+    | () -> ()
+    | exception _first -> (
+        (* Retry once, inline on the same worker: a transient failure
+           (e.g. a raced resource) heals silently; a deterministic one
+           fails again immediately and is quarantined. *)
+        match f t with
+        | () -> ()
+        | exception exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            let fl = failure_of ~describe ~attempts:2 i t exn bt in
+            Mutex.lock failures_mutex;
+            failures := fl :: !failures;
+            Mutex.unlock failures_mutex)
+  in
+  drive sh ~domains ~tasks exec;
+  List.sort (fun a b -> compare a.index b.index) !failures

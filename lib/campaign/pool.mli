@@ -6,16 +6,56 @@
     stall the others), and campaign determinism is unaffected because
     results are keyed by task, not by completion order.
 
-    With [domains <= 1] everything runs in the calling domain and no
-    domain is spawned — the degenerate case is ordinary sequential
-    execution, which is what makes "byte-identical at any domain count"
-    testable against a serial baseline. *)
+    With [domains <= 1] no domain is spawned and the calling domain
+    drains the queue itself — through {e the same} worker loop and
+    exception-capture path as spawned workers, so 1-domain and N-domain
+    campaigns fail identically (this used to be a bare [Array.iter] that
+    leaked raw exceptions).
 
-val run : domains:int -> tasks:'a array -> ('a -> unit) -> unit
+    Two failure disciplines are offered: {!run} aborts on the first task
+    failure ({!Task_failed}, which names the task — a failure used to be
+    re-raised bare, losing which task crashed); {!run_contained} retries
+    each failing task once and quarantines persistent failures, always
+    running every task to completion. *)
+
+type failure = {
+  index : int;  (** position of the failing task in [tasks] *)
+  description : string;  (** from [describe]; [""] if none given *)
+  message : string;  (** [Printexc.to_string] of the exception *)
+  backtrace : string;  (** captured at the raise, in the worker *)
+  attempts : int;  (** executions attempted (2 after a retry) *)
+}
+
+exception Task_failed of failure
+(** Registered with a printer that includes the task index, description
+    and original exception message, so even an uncaught failure
+    identifies the task that crashed. *)
+
+val run :
+  ?describe:(int -> 'a -> string) ->
+  domains:int ->
+  tasks:'a array ->
+  ('a -> unit) ->
+  unit
 (** Execute [f task] once for every element of [tasks], using the calling
     domain plus [domains - 1] spawned domains. Returns when all tasks are
     done. [f] must be domain-safe (the campaign runner's task bodies only
     touch per-task state and a mutex-protected sink).
 
     If any [f] raises, remaining queued tasks are abandoned, all domains
-    are joined, and the first exception is re-raised. *)
+    are joined, and {!Task_failed} is raised carrying the first failure
+    (task index, [describe]'s rendering, exception message, backtrace). *)
+
+val run_contained :
+  ?describe:(int -> 'a -> string) ->
+  domains:int ->
+  tasks:'a array ->
+  ('a -> unit) ->
+  failure list
+(** Like {!run}, but self-healing: a task whose [f] raises (including
+    [Stack_overflow]) is retried once on the same worker; a task that
+    fails twice is {e quarantined} — recorded and skipped — and the pool
+    keeps draining the queue. Every task is attempted; the pool never
+    poisons. Returns the quarantined failures sorted by task index
+    (deterministic: retry happens inline on the worker that saw the
+    failure, so the failure set is independent of scheduling). *)

@@ -5,6 +5,8 @@ type config = {
   checkpoint : string option;
   stop_after : int option;
   progress : (done_shards:int -> total_shards:int -> unit) option;
+  max_rounds : int option;
+  strict : bool;
 }
 
 let default =
@@ -15,6 +17,8 @@ let default =
     checkpoint = None;
     stop_after = None;
     progress = None;
+    max_rounds = None;
+    strict = false;
   }
 
 type outcome =
@@ -87,8 +91,21 @@ let run ?(config = default) grid =
         (fun j s ->
           let v, counters =
             Scenario.execute_observed ~base_seed:config.base_seed
-              ~index:(base + j) s
+              ?max_rounds:config.max_rounds ~index:(base + j) s
           in
+          (* Strict mode re-raises contained failures so they poison the
+             pool — the fail-fast discipline, with the scenario id in the
+             failure message. *)
+          (if config.strict then
+             match v.Scenario.status with
+             | Scenario.Checked -> ()
+             | Scenario.Timed_out { budget } ->
+                 failwith
+                   (Printf.sprintf "scenario %s timed out (round budget %d)"
+                      v.Scenario.id budget)
+             | Scenario.Crashed { exn; _ } ->
+                 failwith
+                   (Printf.sprintf "scenario %s crashed: %s" v.Scenario.id exn));
           stats :=
             Stats.merge !stats
               (Stats.single ~algo:(Scenario.algo_name s.Scenario.algo) counters);
@@ -107,24 +124,89 @@ let run ?(config = default) grid =
        progress callback or checkpoint I/O error used to leave the mutex
        held, deadlocking the surviving workers instead of letting the
        pool's poison propagate). The user progress callback runs outside
-       the lock, on a snapshot taken under it. *)
+       the lock, on a snapshot taken under it.
+
+       Recording is idempotent: a retried shard whose first attempt
+       already recorded (i.e. the failure was post-record — a raising
+       callback or checkpoint write) must not double-count the shard or
+       append a duplicate checkpoint line, and its callback is not
+       replayed. *)
     Mutex.lock sink;
     let snapshot =
       Fun.protect
         ~finally:(fun () -> Mutex.unlock sink)
         (fun () ->
-          results.(i) <- Some entry;
-          incr done_shards;
-          (match config.checkpoint with
-          | Some path -> Checkpoint.append ~path entry
-          | None -> ());
-          !done_shards)
+          if results.(i) = None then begin
+            results.(i) <- Some entry;
+            incr done_shards;
+            (match config.checkpoint with
+            | Some path -> Checkpoint.append ~path entry
+            | None -> ());
+            Some !done_shards
+          end
+          else None)
     in
-    match config.progress with
-    | Some f -> f ~done_shards:snapshot ~total_shards
-    | None -> ()
+    match (snapshot, config.progress) with
+    | Some snap, Some f -> f ~done_shards:snap ~total_shards
+    | _ -> ()
   in
-  Pool.run ~domains:config.domains ~tasks:pending exec_shard;
+  let describe _task_index (i, (scen : Scenario.t array)) =
+    Printf.sprintf "shard %d: %s" i
+      (String.concat ", " (Array.to_list (Array.map Scenario.id scen)))
+  in
+  let quarantined =
+    if config.strict then begin
+      Pool.run ~describe ~domains:config.domains ~tasks:pending exec_shard;
+      []
+    end
+    else
+      (* Self-healing: each failing shard is retried once; a shard that
+         fails twice is quarantined and its scenarios recorded as
+         crashed, so the campaign still completes. *)
+      List.map
+        (fun (fl : Pool.failure) ->
+          let i, scen = pending.(fl.Pool.index) in
+          let base = i * config.shard_size in
+          let verdicts =
+            Array.mapi
+              (fun j s ->
+                let seed = Scenario.scenario_seed ~base:config.base_seed s in
+                {
+                  Scenario.index = base + j;
+                  id = Scenario.id s;
+                  status =
+                    Scenario.Crashed
+                      {
+                        exn = fl.Pool.message;
+                        (* Pool-level backtraces depend on the worker's
+                           call stack (1-domain vs N-domain differ); the
+                           deterministic portion carries none. *)
+                        backtrace = "";
+                        repro = Scenario.repro_command s ~seed;
+                      };
+                  ok = false;
+                  agreement = false;
+                  validity = false;
+                  termination = false;
+                  decision = None;
+                  expected = None;
+                  rounds = 0;
+                  phases = 0;
+                  transmissions = 0;
+                  deliveries = 0;
+                  counterexample = None;
+                })
+              scen
+          in
+          (if results.(i) = None then
+             let entry =
+               { Checkpoint.shard = i; wall_s = 0.0; verdicts; stats = Stats.empty }
+             in
+             results.(i) <- Some entry);
+          { Artifact.shard = i; message = fl.Pool.message })
+        (Pool.run_contained ~describe ~domains:config.domains ~tasks:pending
+           exec_shard)
+  in
   if Array.exists (( = ) None) results then
     Partial { completed = !done_shards; total = total_shards; dropped_lines }
   else begin
@@ -149,6 +231,7 @@ let run ?(config = default) grid =
         grid_fingerprint = fingerprint;
         verdicts;
         stats;
+        quarantined;
         run =
           {
             Artifact.domains = config.domains;

@@ -27,12 +27,25 @@ type config = {
   progress : (done_shards:int -> total_shards:int -> unit) option;
       (** called after each shard completes, {e outside} the sink lock
           (with a snapshot taken under it) — a raising or slow callback
-          cannot deadlock the other workers *)
+          cannot deadlock the other workers. Not replayed when a retried
+          shard finds its result already recorded. *)
+  max_rounds : int option;
+      (** per-scenario engine-round budget ({!Lbc_sim.Engine.with_fuel});
+          an execution that exhausts it gets a {!Scenario.Timed_out}
+          verdict instead of hanging its worker domain *)
+  strict : bool;
+      (** [false] (default): self-healing — scenario crashes and
+          timeouts become verdicts, a shard failing twice at the
+          infrastructure level is quarantined, and the campaign runs to
+          [Complete]. [true]: fail fast — the first crashed or timed-out
+          scenario (or infrastructure failure) aborts the pool with
+          {!Pool.Task_failed}, whose message names the shard and its
+          scenario ids. *)
 }
 
 val default : config
 (** [domains = 1], [base_seed = 0], [shard_size = 16], no checkpoint, no
-    stop, no progress callback. *)
+    stop, no progress callback, no round budget, not strict. *)
 
 type outcome =
   | Complete of Artifact.t
@@ -42,7 +55,17 @@ type outcome =
           unparseable checkpoint lines discarded on resume. *)
 
 val run : ?config:config -> Grid.t -> outcome
-(** Enumerate, shard, (maybe) resume, execute, aggregate. *)
+(** Enumerate, shard, (maybe) resume, execute, aggregate.
+
+    Containment (non-strict mode): scenario exceptions — including
+    {!Lbc_sim.Engine.Model_violation} and [Stack_overflow] — are caught
+    in {!Scenario.execute} and recorded as {!Scenario.Crashed} verdicts
+    with a reproduction command; executions exceeding [max_rounds]
+    become {!Scenario.Timed_out}; a shard that fails twice beyond that
+    (infrastructure errors) is quarantined with its scenarios marked
+    crashed. The campaign therefore always reaches [Complete] (absent
+    [stop_after]), and the deterministic byte-identity contract holds
+    for crashed and timed-out verdicts too. *)
 
 val run_exn : ?config:config -> Grid.t -> Artifact.t
 (** {!run}, raising [Failure] on [Partial] — for callers that set no

@@ -3,6 +3,8 @@ module Nodeset = Lbc_graph.Nodeset
 module Bit = Lbc_consensus.Bit
 module Spec = Lbc_consensus.Spec
 module S = Lbc_adversary.Strategy
+module Engine = Lbc_sim.Engine
+module Perturb = Lbc_sim.Perturb
 
 type algo = A1 | A2 | A3 of int | Relay | Eig
 
@@ -22,11 +24,12 @@ type t = {
   equivocators : Nodeset.t;
   strategy : S.kind;
   inputs : Bit.t array;
+  chaos : Perturb.spec option;
 }
 
 let make ~gname ~build ~algo ~f ~faulty ?(equivocators = Nodeset.empty)
-    ~strategy ~inputs () =
-  { gname; build; algo; f; faulty; equivocators; strategy; inputs }
+    ~strategy ~inputs ?chaos () =
+  { gname; build; algo; f; faulty; equivocators; strategy; inputs; chaos }
 
 let ids_string s =
   if Nodeset.is_empty s then "-"
@@ -37,16 +40,29 @@ let ids_string s =
 let inputs_string inputs =
   String.concat "" (Array.to_list (Array.map Bit.to_string inputs))
 
+let chaos_string = function
+  | None -> "none"
+  | Some spec ->
+      let str = Perturb.to_string spec in
+      if str = "" then "none" else str
+
 let id s =
   let t_part = match s.algo with A3 t -> Printf.sprintf "|t=%d" t | _ -> "" in
   let eq_part =
     if Nodeset.is_empty s.equivocators then ""
     else Printf.sprintf "|eq=%s" (ids_string s.equivocators)
   in
-  Printf.sprintf "%s|%s|f=%d%s|faulty=%s%s|s=%s|in=%s" (algo_name s.algo)
+  let chaos_part =
+    (* [None] keeps the pre-chaos id spelling, so fingerprints of
+       existing grids (and their checkpoints) are unchanged. *)
+    match s.chaos with
+    | None -> ""
+    | Some _ -> Printf.sprintf "|chaos=%s" (chaos_string s.chaos)
+  in
+  Printf.sprintf "%s|%s|f=%d%s|faulty=%s%s|s=%s|in=%s%s" (algo_name s.algo)
     s.gname s.f t_part (ids_string s.faulty) eq_part
     (Format.asprintf "%a" S.pp_kind s.strategy)
-    (inputs_string s.inputs)
+    (inputs_string s.inputs) chaos_part
 
 (* FNV-1a over the id string: a deterministic, platform-stable hash (we
    avoid [Hashtbl.hash], whose value is not documented to be stable). The
@@ -62,9 +78,15 @@ let fnv1a s =
 
 let scenario_seed ~base s = (fnv1a (id s) lxor (base * 0x9e3779b9)) land max_int
 
+type status =
+  | Checked
+  | Timed_out of { budget : int }
+  | Crashed of { exn : string; backtrace : string; repro : string }
+
 type verdict = {
   index : int;
   id : string;
+  status : status;
   ok : bool;
   agreement : bool;
   validity : bool;
@@ -86,7 +108,8 @@ let run_outcome s ~seed =
       (Printf.sprintf "scenario %s: %d inputs for a %d-node graph" (id s)
          (Array.length s.inputs) n);
   let strategy _ = s.strategy in
-  match s.algo with
+  let go () =
+    match s.algo with
   | A1 ->
       Lbc_consensus.Algorithm1.run ~g ~f:s.f ~inputs:s.inputs
         ~faulty:s.faulty ~strategy ~seed ()
@@ -108,6 +131,10 @@ let run_outcome s ~seed =
       in
       Lbc_consensus.Baseline_eig.run ~n ~f:s.f ~inputs:s.inputs
         ~faulty:s.faulty ~attack ~seed ()
+  in
+  match s.chaos with
+  | None -> go ()
+  | Some spec -> Perturb.with_chaos spec ~seed go
 
 let unanimous_honest s =
   let honest = ref [] in
@@ -151,14 +178,21 @@ let repro_command s ~seed =
        else Printf.sprintf "--equivocators %s" (ids_string s.equivocators));
       Printf.sprintf "-s %s" (cli_kind s.strategy);
       Printf.sprintf "-i %s" (inputs_string s.inputs);
+      (match s.chaos with
+      | None -> ""
+      | Some _ -> Printf.sprintf "--chaos %s" (chaos_string s.chaos));
       Printf.sprintf "--seed %d" seed;
     ]
   in
   String.concat " " (List.filter (( <> ) "") parts)
 
-let execute ?(base_seed = 0) ~index s =
+let execute_strict ?(base_seed = 0) ?max_rounds ~index s =
   let seed = scenario_seed ~base:base_seed s in
-  let o = run_outcome s ~seed in
+  let o =
+    match max_rounds with
+    | None -> run_outcome s ~seed
+    | Some budget -> Engine.with_fuel ~budget (fun () -> run_outcome s ~seed)
+  in
   let agreement = Spec.agreement o in
   let validity = Spec.validity o in
   let termination =
@@ -198,6 +232,7 @@ let execute ?(base_seed = 0) ~index s =
   {
     index;
     id = id s;
+    status = Checked;
     ok;
     agreement;
     validity;
@@ -211,23 +246,68 @@ let execute ?(base_seed = 0) ~index s =
     counterexample;
   }
 
-let execute_observed ?base_seed ~index s =
+let failed_verdict ~index s status =
+  {
+    index;
+    id = id s;
+    status;
+    ok = false;
+    agreement = false;
+    validity = false;
+    termination = false;
+    decision = None;
+    expected = unanimous_honest s;
+    rounds = 0;
+    phases = 0;
+    transmissions = 0;
+    deliveries = 0;
+    counterexample = None;
+  }
+
+let execute ?(base_seed = 0) ?max_rounds ~index s =
+  try execute_strict ~base_seed ?max_rounds ~index s with
+  | Engine.Fuel_exhausted { budget } ->
+      failed_verdict ~index s (Timed_out { budget })
+  | exn ->
+      (* Capture the backtrace before anything else can raise: the
+         frames from the raise point up to this handler are a pure
+         function of the scenario, so the string is identical no matter
+         which domain executes the shard — it can live in the
+         deterministic portion of the artifact. *)
+      let backtrace =
+        Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+      in
+      let seed = scenario_seed ~base:base_seed s in
+      failed_verdict ~index s
+        (Crashed
+           {
+             exn = Printexc.to_string exn;
+             backtrace;
+             repro = repro_command s ~seed;
+           })
+
+let execute_observed ?base_seed ?max_rounds ~index s =
   let v, report =
-    Lbc_obs.Obs.record (fun () -> execute ?base_seed ~index s)
+    Lbc_obs.Obs.record (fun () -> execute ?base_seed ?max_rounds ~index s)
   in
   (* Verdict-level tallies join the instrumentation counters so the
      per-algo aggregates carry round/phase/message sums even for
      uninstrumented baselines. *)
   let verdict_counters =
     List.sort compare
-      [
-        ("verdict.ok", if v.ok then 1 else 0);
-        ("verdict.violations", if v.ok then 0 else 1);
-        ("verdict.rounds", v.rounds);
-        ("verdict.phases", v.phases);
-        ("verdict.tx", v.transmissions);
-        ("verdict.rx", v.deliveries);
-      ]
+      ([
+         ("verdict.ok", if v.ok then 1 else 0);
+         ("verdict.violations", if v.ok then 0 else 1);
+         ("verdict.rounds", v.rounds);
+         ("verdict.phases", v.phases);
+         ("verdict.tx", v.transmissions);
+         ("verdict.rx", v.deliveries);
+       ]
+      @
+      match v.status with
+      | Checked -> []
+      | Timed_out _ -> [ ("verdict.timeouts", 1) ]
+      | Crashed _ -> [ ("verdict.crashed", 1) ])
   in
   let counters =
     Lbc_obs.Obs.merge_counters report.Lbc_obs.Obs.counters
@@ -245,6 +325,18 @@ let execute_observed ?base_seed ~index s =
 let bit_opt_json = function
   | None -> Jsonio.Null
   | Some b -> Jsonio.Int (Bit.to_int b)
+
+let status_fields = function
+  | Checked -> []
+  | Timed_out { budget } ->
+      [ ("status", Jsonio.Str "timeout"); ("budget", Jsonio.Int budget) ]
+  | Crashed { exn; backtrace; repro } ->
+      [
+        ("status", Jsonio.Str "crashed");
+        ("exn", Jsonio.Str exn);
+        ("backtrace", Jsonio.Str backtrace);
+        ("repro", Jsonio.Str repro);
+      ]
 
 let verdict_to_json v =
   let base =
@@ -268,7 +360,7 @@ let verdict_to_json v =
     | None -> []
     | Some s -> [ ("counterexample", Jsonio.Str s) ]
   in
-  Jsonio.Obj (base @ cx)
+  Jsonio.Obj (base @ status_fields v.status @ cx)
 
 let verdict_of_json j =
   let ( let* ) = Option.bind in
@@ -280,7 +372,27 @@ let verdict_of_json j =
         try Some (Some (Bit.of_int i)) with Invalid_argument _ -> None)
     | Some _ -> None
   in
+  let status =
+    let str k = Option.bind (Jsonio.member k j) Jsonio.to_str in
+    let getstr k = Option.value ~default:"" (str k) in
+    match str "status" with
+    | None -> Some Checked
+    | Some "timeout" ->
+        Option.map
+          (fun budget -> Timed_out { budget })
+          (Option.bind (Jsonio.member "budget" j) Jsonio.to_int)
+    | Some "crashed" ->
+        Some
+          (Crashed
+             {
+               exn = getstr "exn";
+               backtrace = getstr "backtrace";
+               repro = getstr "repro";
+             })
+    | Some _ -> None
+  in
   let v =
+    let* status = status in
     let* index = field "i" Jsonio.to_int in
     let* id = field "id" Jsonio.to_str in
     let* ok = field "ok" Jsonio.to_bool in
@@ -300,6 +412,7 @@ let verdict_of_json j =
       {
         index;
         id;
+        status;
         ok;
         agreement;
         validity;
@@ -316,7 +429,15 @@ let verdict_of_json j =
   match v with Some v -> Ok v | None -> Error "malformed verdict"
 
 let pp_verdict fmt v =
-  Format.fprintf fmt "[%d] %s: %s (%d rounds, %d tx)%s" v.index v.id
-    (if v.ok then "ok" else "VIOLATION")
-    v.rounds v.transmissions
-    (match v.counterexample with None -> "" | Some c -> " " ^ c)
+  match v.status with
+  | Checked ->
+      Format.fprintf fmt "[%d] %s: %s (%d rounds, %d tx)%s" v.index v.id
+        (if v.ok then "ok" else "VIOLATION")
+        v.rounds v.transmissions
+        (match v.counterexample with None -> "" | Some c -> " " ^ c)
+  | Timed_out { budget } ->
+      Format.fprintf fmt "[%d] %s: TIMEOUT (round budget %d spent)" v.index
+        v.id budget
+  | Crashed { exn; repro; _ } ->
+      Format.fprintf fmt "[%d] %s: CRASHED (%s) reproduce: %s" v.index v.id
+        exn repro

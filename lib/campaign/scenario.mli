@@ -32,6 +32,10 @@ type t = {
   equivocators : Lbc_graph.Nodeset.t;  (** for {!A3}; empty otherwise *)
   strategy : Lbc_adversary.Strategy.kind;  (** applied to every faulty node *)
   inputs : Lbc_consensus.Bit.t array;
+  chaos : Lbc_sim.Perturb.spec option;
+      (** environment perturbation installed around the execution
+          ({!Lbc_sim.Perturb.with_chaos} with the scenario seed);
+          [None] runs the perfect-synchrony model *)
 }
 
 val make :
@@ -43,13 +47,21 @@ val make :
   ?equivocators:Lbc_graph.Nodeset.t ->
   strategy:Lbc_adversary.Strategy.kind ->
   inputs:Lbc_consensus.Bit.t array ->
+  ?chaos:Lbc_sim.Perturb.spec ->
   unit ->
   t
 
 val id : t -> string
 (** Canonical content-derived identifier, e.g.
     ["a1|cycle:5|f=1|faulty=2|s=flip-forwards|in=00100"]. Stable across
-    runs and independent of position in any grid. *)
+    runs and independent of position in any grid. Scenarios with a chaos
+    spec append a [|chaos=...] segment (canonical {!Lbc_sim.Perturb.to_string}
+    spelling); [chaos = None] keeps the historical spelling, so existing
+    grid fingerprints are unchanged. *)
+
+val repro_command : t -> seed:int -> string
+(** The [lbcast run] command line reproducing this scenario (including
+    its [--chaos] spec) with the given seed. *)
 
 val scenario_seed : base:int -> t -> int
 (** The per-scenario RNG seed: a deterministic (FNV-1a) hash of {!id}
@@ -57,9 +69,24 @@ val scenario_seed : base:int -> t -> int
     thus behave identically for a given scenario no matter which domain,
     shard or resumed process executes it. *)
 
+type status =
+  | Checked  (** the execution ran to completion and was judged *)
+  | Timed_out of { budget : int }
+      (** the per-scenario round budget ({!Lbc_sim.Engine.with_fuel}) ran
+          out — a livelocked or oversized execution, stopped instead of
+          hanging its worker domain *)
+  | Crashed of { exn : string; backtrace : string; repro : string }
+      (** the execution raised (including
+          {!Lbc_sim.Engine.Model_violation} and [Stack_overflow]):
+          exception message, backtrace captured at the raise, and the
+          [lbcast run] command that reproduces it *)
+
 type verdict = {
   index : int;  (** position in the grid's total enumeration order *)
   id : string;
+  status : status;
+      (** non-{!Checked} verdicts have [ok = false] and zeroed
+          rounds/phases/tx/rx *)
   ok : bool;
       (** agreement ∧ validity ∧ termination ∧ (decision = unanimous
           honest input, when the honest inputs are unanimous) *)
@@ -78,16 +105,38 @@ type verdict = {
           command line *)
 }
 
-val execute : ?base_seed:int -> index:int -> t -> verdict
+val execute : ?base_seed:int -> ?max_rounds:int -> index:int -> t -> verdict
 (** Build a fresh graph and run the scenario to a verdict. [base_seed]
-    (default 0) feeds {!scenario_seed}. *)
+    (default 0) feeds {!scenario_seed}. [max_rounds] installs a fuel
+    budget around the execution ({!Lbc_sim.Engine.with_fuel}).
+
+    Contained: an execution that exhausts its budget returns a
+    {!Timed_out} verdict, and one that raises anything else (including
+    [Stack_overflow]) returns a {!Crashed} verdict carrying the
+    exception, its backtrace and a reproduction command — [execute]
+    itself never raises on scenario failure. Both failure verdicts are
+    deterministic (the backtrace is captured between the raise and this
+    handler, on whichever domain runs the scenario), so they live in the
+    artifact's byte-comparable portion. *)
+
+val execute_strict :
+  ?base_seed:int -> ?max_rounds:int -> index:int -> t -> verdict
+(** {!execute} without the containment: scenario exceptions (and
+    {!Lbc_sim.Engine.Fuel_exhausted}) propagate to the caller. For
+    callers that want a raising scenario to abort the whole batch — the
+    runner's strict mode. *)
 
 val execute_observed :
-  ?base_seed:int -> index:int -> t -> verdict * (string * int) list
+  ?base_seed:int ->
+  ?max_rounds:int ->
+  index:int ->
+  t ->
+  verdict * (string * int) list
 (** {!execute} under an {!Lbc_obs.Obs.record}: additionally returns the
     scenario's observability counters (instrumentation counters, flattened
-    histograms as [name.count]/[name.sum], and the verdict's own
-    round/phase/tx/rx tallies as [verdict.*]), sorted by name. The
+    histograms as [name.count]/[name.sum], the verdict's own
+    round/phase/tx/rx tallies as [verdict.*], and — for failure verdicts
+    — [verdict.timeouts] / [verdict.crashed]), sorted by name. The
     counters are a pure function of the scenario and seed — the execution
     happens wholly on the calling domain, so the list is identical no
     matter which domain or process runs it. *)

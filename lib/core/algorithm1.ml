@@ -72,6 +72,9 @@ let run ~g ~f ~inputs ~faulty ?(strategy = fun _ -> Strategy.Flip_forwards)
   in
   List.iter
     (fun cap_f ->
+      (* Stop between phases once the domain's round budget is spent,
+         rather than launching another full flood phase. *)
+      Engine.check_fuel ();
       let cap_f = Nodeset.of_list cap_f in
       let before = Array.copy !gamma in
       let gamma', stores, stats =

@@ -311,6 +311,7 @@ let run_traced ~g ~f ~inputs ~faulty
     | None -> invalid_arg "Algorithm2: missing phase-1 state"
   in
   (* Phase 2 *)
+  Engine.check_fuel ();
   let reports v =
     if is_faulty v then
       reports_of g ~who:v (heard_from_transcript g ~who:v r1.Engine.transcript)
@@ -364,6 +365,7 @@ let run_traced ~g ~f ~inputs ~faulty
         else Some (type_b_decision g ~f ~store1:(p1 v).store1))
   in
   (* Phase 3 *)
+  Engine.check_fuel ();
   let roles3 =
     Array.init n (fun v ->
         if is_faulty v then

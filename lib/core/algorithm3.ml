@@ -71,6 +71,9 @@ let run ~g ~f ~t ~inputs ~faulty ?(equivocators = Nodeset.empty)
   let decisive = ref 0 in
   List.iter
     (fun (cap_t, cap_f) ->
+      (* Stop between phases once the domain's round budget is spent,
+         rather than launching another full flood phase. *)
+      Engine.check_fuel ();
       let cap_t = Nodeset.of_list cap_t in
       let cap_f = Nodeset.of_list cap_f in
       let before = Array.copy !gamma in

@@ -55,9 +55,39 @@ let may_unicast model u =
   | Point_to_point -> true
   | Hybrid equivocators -> Lbc_graph.Nodeset.mem u equivocators
 
-let run ?(record = false) topo ~model ~rounds ~roles =
-  if Array.length roles <> topo.n then
-    invalid_arg "Engine.run: roles length must equal topology size";
+(* ------------------------------------------------------------------ *)
+(* Fuel: a domain-local round budget shared by every engine run in a   *)
+(* dynamic extent, so a livelocked (or merely huge) execution raises   *)
+(* instead of hanging its domain.                                      *)
+(* ------------------------------------------------------------------ *)
+
+exception Fuel_exhausted of { budget : int }
+
+let fuel_key : (int * int ref) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_fuel ~budget f =
+  let prev = Domain.DLS.get fuel_key in
+  Domain.DLS.set fuel_key (Some (budget, ref budget));
+  Fun.protect ~finally:(fun () -> Domain.DLS.set fuel_key prev) f
+
+let check_fuel () =
+  match Domain.DLS.get fuel_key with
+  | Some (budget, r) when !r <= 0 -> raise (Fuel_exhausted { budget })
+  | Some _ | None -> ()
+
+let consume_fuel n =
+  match Domain.DLS.get fuel_key with
+  | None -> ()
+  | Some (budget, r) ->
+      r := !r - n;
+      if !r < 0 then raise (Fuel_exhausted { budget })
+
+(* ------------------------------------------------------------------ *)
+(* Plain path: perfect synchronous delivery                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_plain ~record topo ~model ~rounds ~roles =
   let transmissions = ref 0 in
   let deliveries = ref 0 in
   let transcript = ref [] in
@@ -66,6 +96,7 @@ let run ?(record = false) topo ~model ~rounds ~roles =
      obtain by iterating senders in ascending id order each round. *)
   let inboxes = Array.make topo.n [] in
   for round = 0 to rounds - 1 do
+    consume_fuel 1;
     let tx0 = !transmissions and rx0 = !deliveries in
     let incoming = Array.map List.rev inboxes in
     Array.fill inboxes 0 topo.n [];
@@ -129,3 +160,130 @@ let run ?(record = false) topo ~model ~rounds ~roles =
       { rounds; transmissions = !transmissions; deliveries = !deliveries };
     transcript = List.rev !transcript;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Chaos path: delivery through the Perturb oracle                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Deliveries are scheduled into a ring of [delay + 2] future rounds:
+   a copy with offset [k] lands [1 + k] rounds ahead, and
+   [1 + k <= delay + 1 < horizon], so a scheduled slot is never the one
+   being consumed. Per-receiver buckets accumulate in scheduling order
+   (round asc, then sender asc, then emission order), which keeps the
+   inbox order — and therefore the whole execution — deterministic;
+   with a zero-rate spec every offset is 0 and the order (and every
+   stat, counter and transcript entry) coincides with the plain path. *)
+let run_chaos ~record ~ctx topo ~model ~rounds ~roles =
+  let spec = Perturb.spec ctx in
+  let horizon = spec.Perturb.delay + 2 in
+  let future = Array.init horizon (fun _ -> Array.make topo.n []) in
+  (* crashed_until.(u) = last round of u's current down window; honest
+     nodes only. While down a node is not stepped, receives nothing and
+     emits nothing; it restarts with its closure state intact. *)
+  let crashed_until = Array.make topo.n (-1) in
+  let transmissions = ref 0 in
+  let deliveries = ref 0 in
+  let transcript = ref [] in
+  for round = 0 to rounds - 1 do
+    consume_fuel 1;
+    let tx0 = !transmissions and rx0 = !deliveries in
+    let slot = round mod horizon in
+    let incoming = Array.map List.rev future.(slot) in
+    Array.fill future.(slot) 0 topo.n [];
+    for u = 0 to topo.n - 1 do
+      match roles.(u) with
+      | Honest _ ->
+          if crashed_until.(u) < round && Perturb.crash_now ctx ~node:u ~round
+          then begin
+            crashed_until.(u) <- round + spec.Perturb.crash_len - 1;
+            Lbc_obs.Obs.incr "perturb.crashes"
+          end
+      | Faulty _ -> ()
+    done;
+    for u = 0 to topo.n - 1 do
+      if crashed_until.(u) >= round then
+        (* Down: the inbox for this round is lost, nothing is emitted. *)
+        Lbc_obs.Obs.incr "perturb.crash_rounds"
+      else begin
+        let out =
+          match roles.(u) with
+          | Honest p ->
+              List.map (fun m -> Broadcast m) (p.step ~round ~inbox:incoming.(u))
+          | Faulty f -> f ~round ~inbox:incoming.(u)
+        in
+        let deliver v m =
+          match Perturb.offsets ctx ~round ~sender:u ~receiver:v with
+          | [] -> Lbc_obs.Obs.incr "perturb.dropped"
+          | offs ->
+              List.iteri
+                (fun i k ->
+                  if i > 0 then Lbc_obs.Obs.incr "perturb.duplicated";
+                  if k > 0 then Lbc_obs.Obs.incr "perturb.delayed";
+                  incr deliveries;
+                  let target = round + 1 + k in
+                  if k > 0 && target >= rounds then
+                    Lbc_obs.Obs.incr "perturb.expired";
+                  (* Slots past the last round are scheduled but never
+                     consumed — exactly the plain path's accounting of
+                     final-round deliveries. *)
+                  let fslot = target mod horizon in
+                  future.(fslot).(v) <- (u, m) :: future.(fslot).(v))
+                offs
+        in
+        List.iter
+          (fun d ->
+            incr transmissions;
+            if record then transcript := (round, u, d) :: !transcript;
+            match d with
+            | Broadcast m -> List.iter (fun v -> deliver v m) (topo.hears u)
+            | Unicast (v, m) ->
+                if not (may_unicast model u) then begin
+                  Lbc_obs.Obs.incr "engine.reject_unicast_model";
+                  raise
+                    (Model_violation
+                       (Printf.sprintf
+                          "node %d attempted unicast under a broadcast-bound \
+                           model"
+                          u))
+                end;
+                if not (topo.link u v) then begin
+                  Lbc_obs.Obs.incr "engine.reject_unicast_link";
+                  raise
+                    (Model_violation
+                       (Printf.sprintf "node %d unicast to non-neighbour %d" u
+                          v))
+                end;
+                deliver v m)
+          out
+      end
+    done;
+    if Lbc_obs.Obs.tracing () then
+      Lbc_obs.Obs.emit
+        {
+          Lbc_obs.Obs.round;
+          label = "engine.round";
+          fields =
+            [ ("tx", !transmissions - tx0); ("rx", !deliveries - rx0) ];
+        }
+  done;
+  Lbc_obs.Obs.add "engine.rounds" rounds;
+  Lbc_obs.Obs.add "engine.tx" !transmissions;
+  Lbc_obs.Obs.add "engine.rx" !deliveries;
+  let outputs =
+    Array.map
+      (function Honest p -> Some (p.output ()) | Faulty _ -> None)
+      roles
+  in
+  {
+    outputs;
+    stats =
+      { rounds; transmissions = !transmissions; deliveries = !deliveries };
+    transcript = List.rev !transcript;
+  }
+
+let run ?(record = false) topo ~model ~rounds ~roles =
+  if Array.length roles <> topo.n then
+    invalid_arg "Engine.run: roles length must equal topology size";
+  match Perturb.current () with
+  | None -> run_plain ~record topo ~model ~rounds ~roles
+  | Some ctx -> run_chaos ~record ~ctx topo ~model ~rounds ~roles

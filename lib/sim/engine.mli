@@ -93,5 +93,41 @@ val run :
   ('msg, 'out) result
 (** Execute [rounds] synchronous rounds. [roles] must have length
     [topology.n].
+
+    When a {!Perturb} context is installed in the current domain
+    ({!Perturb.with_chaos}), delivery runs through the perturbation
+    oracle instead of the perfect-synchrony path: per-(round, sender,
+    receiver) drop / duplication / bounded delay, and honest
+    crash-restart windows (a down node is not stepped, loses its inbox
+    and emits nothing; its closure state survives the restart). A
+    zero-rate context reproduces the plain path bit-for-bit — same
+    outputs, stats, transcript and observability counters. Perturbed
+    runs additionally tally [perturb.dropped] / [perturb.duplicated] /
+    [perturb.delayed] / [perturb.expired] / [perturb.crashes] /
+    [perturb.crash_rounds].
+
+    Every run consumes one unit of {e fuel} per round when a budget is
+    installed with {!with_fuel}.
+
     @raise Model_violation if a faulty node unicasts in a model that
-    forbids it for that node, or unicasts over a non-existent link. *)
+    forbids it for that node, or unicasts over a non-existent link.
+    @raise Fuel_exhausted when the installed round budget runs out. *)
+
+(** {1 Fuel}
+
+    A domain-local round budget shared by every [run] in a dynamic
+    extent — the campaign runner's defence against livelocked or
+    runaway executions: instead of hanging a worker domain forever, the
+    execution raises and is recorded as a timeout verdict. *)
+
+exception Fuel_exhausted of { budget : int }
+
+val with_fuel : budget:int -> (unit -> 'a) -> 'a
+(** Install a fresh budget of [budget] rounds around a thunk (restoring
+    the previous budget, also on exception). Nested budgets shadow. *)
+
+val check_fuel : unit -> unit
+(** Raise {!Fuel_exhausted} if an installed budget is spent — for
+    algorithm drivers to call between engine runs (e.g. at phase-loop
+    heads), so multi-phase algorithms stop promptly rather than starting
+    another full [run]. No-op without a budget. *)

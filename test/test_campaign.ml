@@ -153,7 +153,7 @@ let grid_of_ints (n, mask, extra) =
       ::
       (if extra land 2 = 2 then [ ("fig1a", 1, B.fig1a) ] else []))
     ~algos ~placements:Grid.singleton_placements ~strategies
-    ~inputs:Grid.unanimous_inputs
+    ~inputs:Grid.unanimous_inputs ()
 
 let prop_sharding_is_partition =
   QCheck.Test.make ~name:"sharding partitions the enumeration" ~count:60
@@ -231,15 +231,64 @@ let test_pool_executes_all () =
         (Array.for_all (( = ) 1) hits))
     [ 1; 2; 4 ]
 
+(* Regression: the pool used to re-raise the bare scenario exception,
+   losing which task crashed. [Task_failed] now carries the task index,
+   the caller's description and the original message. *)
 let test_pool_propagates_exception () =
-  check "exception reraised" true
-    (match
-       C.Pool.run ~domains:3
-         ~tasks:(Array.init 20 (fun i -> i))
-         (fun i -> if i = 7 then failwith "boom")
-     with
-    | () -> false
-    | exception Failure msg -> msg = "boom")
+  List.iter
+    (fun domains ->
+      match
+        C.Pool.run ~domains
+          ~describe:(fun i _ -> Printf.sprintf "task-%d" i)
+          ~tasks:(Array.init 20 (fun i -> i))
+          (fun i -> if i = 7 then failwith "boom")
+      with
+      | () -> Alcotest.fail "expected Task_failed"
+      | exception C.Pool.Task_failed fl ->
+          check_int
+            (Printf.sprintf "failing task identified (domains=%d)" domains)
+            7 fl.C.Pool.index;
+          check_str "description carried" "task-7" fl.C.Pool.description;
+          check "original message carried" true
+            (fl.C.Pool.message = "Failure(\"boom\")");
+          check_int "single attempt" 1 fl.C.Pool.attempts)
+    (* domains=1 exercises the former fast path, which used to bypass
+       exception capture entirely; it must behave like the worker path. *)
+    [ 1; 3 ]
+
+let test_pool_contained_quarantines_after_retry () =
+  let attempts = Atomic.make 0 in
+  let ran = Array.make 10 false in
+  let failures =
+    C.Pool.run_contained ~domains:2
+      ~describe:(fun i _ -> Printf.sprintf "task-%d" i)
+      ~tasks:(Array.init 10 (fun i -> i))
+      (fun i ->
+        if i = 3 then begin
+          Atomic.incr attempts;
+          failwith "deterministic"
+        end
+        else ran.(i) <- true)
+  in
+  (match failures with
+  | [ fl ] ->
+      check_int "failed task index" 3 fl.C.Pool.index;
+      check_int "retried once" 2 fl.C.Pool.attempts;
+      check_str "description names the task" "task-3" fl.C.Pool.description
+  | fls -> Alcotest.failf "expected 1 failure, got %d" (List.length fls));
+  check_int "both attempts executed" 2 (Atomic.get attempts);
+  check "all other tasks completed" true
+    (Array.for_all Fun.id (Array.init 10 (fun i -> i = 3 || ran.(i))))
+
+let test_pool_contained_retry_heals_transient () =
+  let first = Atomic.make true in
+  let failures =
+    C.Pool.run_contained ~domains:1
+      ~tasks:(Array.init 5 (fun i -> i))
+      (fun i ->
+        if i = 2 && Atomic.exchange first false then failwith "transient")
+  in
+  check_int "transient failure healed silently" 0 (List.length failures)
 
 (* ------------------------------------------------------------------ *)
 (* Runner: determinism, artifacts, checkpoint/resume                   *)
@@ -247,7 +296,8 @@ let test_pool_propagates_exception () =
 
 let small_grid () = grid_of_ints (5, 7, 3)
 
-let config ?(domains = 1) ?checkpoint ?stop_after () =
+let config ?(domains = 1) ?checkpoint ?stop_after ?max_rounds
+    ?(strict = false) () =
   {
     C.Runner.domains;
     base_seed = 0;
@@ -255,6 +305,8 @@ let config ?(domains = 1) ?checkpoint ?stop_after () =
     checkpoint;
     stop_after;
     progress = None;
+    max_rounds;
+    strict;
   }
 
 let test_runner_deterministic_across_domains () =
@@ -387,12 +439,13 @@ let test_corrupt_checkpoint_line_skipped () =
             (C.Artifact.deterministic_string baseline)
             (C.Artifact.deterministic_string a))
 
-(* Regression: a raising progress callback used to leave the sink mutex
-   locked, deadlocking every other worker instead of letting the pool's
-   poison propagate. The callback now runs outside the lock, so the
-   exception surfaces as a normal pool failure. A regressed
-   implementation hangs here rather than failing an assertion. *)
-let test_raising_progress_callback_no_deadlock () =
+(* A raising progress callback used to leave the sink mutex locked,
+   deadlocking every other worker. Now the callback runs outside the
+   lock, the failing shard's first attempt records its result before the
+   callback fires, and the retry finds the result recorded — so the
+   campaign self-heals to [Complete] with no shard lost and the callback
+   not replayed. A regressed implementation hangs here. *)
+let test_raising_progress_callback_self_heals () =
   let calls = Atomic.make 0 in
   let cfg =
     {
@@ -404,21 +457,130 @@ let test_raising_progress_callback_no_deadlock () =
     }
   in
   (match C.Runner.run ~config:cfg (small_grid ()) with
-  | exception Failure msg -> check_str "callback exception propagates" "progress boom" msg
-  | C.Runner.Partial _ | C.Runner.Complete _ ->
-      (* With >1 domains another worker may finish its shard between the
-         poison and the queue drain; completing without the exception is
-         a pool-semantics question, but the run must at least not hang
-         and not lose shards. *)
-      ());
-  check "callback was invoked" true (Atomic.get calls >= 1);
-  (* The state is not wedged: the same config (minus the raising
-     callback) still completes afterwards. *)
-  let a =
-    C.Runner.run_exn ~config:(config ~domains:4 ()) (small_grid ())
+  | C.Runner.Partial _ -> Alcotest.fail "expected Complete"
+  | C.Runner.Complete a ->
+      let s = C.Artifact.summarize a in
+      check_int "no shard lost" s.C.Artifact.total s.C.Artifact.ok;
+      check_int "no quarantine for a post-record failure" 0
+        (List.length a.C.Artifact.quarantined));
+  check "callback was invoked" true (Atomic.get calls >= 1)
+
+(* Satellite regression: a grid containing a deliberately-raising
+   scenario (Equivocate is per-neighbour unicast, illegal under the pure
+   local broadcast model — Algorithm 1 hits [Engine.Model_violation]). *)
+let raising_scenario () =
+  Scenario.make ~gname:"cycle:5"
+    ~build:(fun () -> B.cycle 5)
+    ~algo:Scenario.A1 ~f:1 ~faulty:(Nodeset.singleton 2)
+    ~strategy:S.Equivocate
+    ~inputs:[| Bit.One; Bit.One; Bit.Zero; Bit.One; Bit.One |]
+    ()
+
+let mixed_grid () =
+  Grid.append ~name:"mixed"
+    [ small_grid (); Grid.of_list ~name:"raising" [ raising_scenario () ] ]
+
+let test_crashed_scenario_contained () =
+  List.iter
+    (fun domains ->
+      match C.Runner.run ~config:(config ~domains ()) (mixed_grid ()) with
+      | C.Runner.Partial _ -> Alcotest.fail "expected Complete"
+      | C.Runner.Complete a ->
+          let s = C.Artifact.summarize a in
+          check_int "one crashed verdict" 1 s.C.Artifact.crashed;
+          check_int "everything else checked ok" (s.C.Artifact.total - 1)
+            s.C.Artifact.ok;
+          let crashed =
+            Array.to_list a.C.Artifact.verdicts
+            |> List.filter (fun (v : Scenario.verdict) ->
+                   match v.Scenario.status with
+                   | Scenario.Crashed _ -> true
+                   | _ -> false)
+          in
+          match crashed with
+          | [ v ] -> (
+              check_str "crashed verdict names the scenario"
+                (Scenario.id (raising_scenario ()))
+                v.Scenario.id;
+              match v.Scenario.status with
+              | Scenario.Crashed { exn; repro; _ } ->
+                  let contains needle hay =
+                    let nl = String.length needle and hl = String.length hay in
+                    let rec go i =
+                      i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+                    in
+                    go 0
+                  in
+                  check "exception recorded" true
+                    (contains "Model_violation" exn || exn <> "");
+                  check "repro command recorded" true (contains "lbcast run" repro)
+              | _ -> assert false)
+          | vs -> Alcotest.failf "expected 1 crashed verdict, got %d" (List.length vs))
+    [ 1; 4 ]
+
+let test_strict_mode_reports_scenario_id () =
+  match
+    C.Runner.run ~config:(config ~strict:true ()) (mixed_grid ())
+  with
+  | exception C.Pool.Task_failed fl ->
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i =
+          i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      check "failure message names the scenario id" true
+        (contains (Scenario.id (raising_scenario ())) fl.C.Pool.message);
+      check "description names the shard's scenarios" true
+        (contains "shard" fl.C.Pool.description)
+  | _ -> Alcotest.fail "strict mode must poison the pool"
+
+let test_max_rounds_times_out () =
+  (* A1 on the Petersen graph needs 110 rounds; a 60-round budget must
+     yield a timeout verdict, not a hang or a crash. *)
+  let slow =
+    Scenario.make ~gname:"petersen" ~build:B.petersen ~algo:Scenario.A1 ~f:1
+      ~faulty:(Nodeset.singleton 3) ~strategy:S.Flip_forwards
+      ~inputs:(Array.make 10 Bit.One) ()
   in
-  let s = C.Artifact.summarize a in
-  check_int "subsequent run completes" s.C.Artifact.total s.C.Artifact.ok
+  let grid = Grid.of_list ~name:"slow" [ slow ] in
+  match C.Runner.run ~config:(config ~max_rounds:60 ()) grid with
+  | C.Runner.Partial _ -> Alcotest.fail "expected Complete"
+  | C.Runner.Complete a -> (
+      let s = C.Artifact.summarize a in
+      check_int "one timeout" 1 s.C.Artifact.timeouts;
+      check_int "no crash" 0 s.C.Artifact.crashed;
+      match a.C.Artifact.verdicts.(0).Scenario.status with
+      | Scenario.Timed_out { budget } -> check_int "budget recorded" 60 budget
+      | _ -> Alcotest.fail "expected Timed_out status");
+      (* Unbudgeted, the same scenario checks out fine. *)
+      let a' = C.Runner.run_exn ~config:(config ()) grid in
+      check_int "no budget, no timeout" 0
+        (C.Artifact.summarize a').C.Artifact.timeouts
+
+(* Satellite property: failure verdicts obey the determinism contract —
+   an artifact containing crashed and timed-out verdicts is still
+   byte-identical across domain counts. *)
+let test_failure_verdicts_deterministic_across_domains () =
+  let run domains =
+    C.Runner.run_exn
+      ~config:(config ~domains ~max_rounds:60 ())
+      (Grid.append ~name:"mixed-budget"
+         [
+           mixed_grid ();
+           Grid.of_list ~name:"slow"
+             [
+               Scenario.make ~gname:"petersen" ~build:B.petersen
+                 ~algo:Scenario.A1 ~f:1 ~faulty:(Nodeset.singleton 3)
+                 ~strategy:S.Flip_forwards
+                 ~inputs:(Array.make 10 Bit.One) ();
+             ];
+         ])
+  in
+  check_str "crashed/timeout verdicts byte-identical across domains"
+    (C.Artifact.deterministic_string (run 1))
+    (C.Artifact.deterministic_string (run 4))
 
 let test_wall_s_clamped_on_parse () =
   let a = C.Runner.run_exn ~config:(config ()) (small_grid ()) in
@@ -443,21 +605,49 @@ let test_wall_s_clamped_on_parse () =
       check "positive shard wall kept" true
         (List.assoc 1 a'.C.Artifact.run.C.Artifact.shard_wall_s = 0.25)
 
-let test_v1_artifact_rejected () =
-  match
-    C.Artifact.of_string
-      "{\"format\":\"lbc-campaign/1\",\"campaign\":\"old\",\"grid\":{},\
-       \"verdicts\":[]}"
-  with
-  | Ok _ -> Alcotest.fail "v1 artifact must be rejected"
-  | Error msg ->
-      let contains needle hay =
-        let nl = String.length needle and hl = String.length hay in
-        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
-        go 0
-      in
-      check "error names both versions" true
-        (contains "lbc-campaign/1" msg && contains "lbc-campaign/2" msg)
+let test_old_artifacts_rejected () =
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun old ->
+      match
+        C.Artifact.of_string
+          (Printf.sprintf
+             "{\"format\":%S,\"campaign\":\"old\",\"grid\":{},\"verdicts\":[]}"
+             old)
+      with
+      | Ok _ -> Alcotest.failf "%s artifact must be rejected" old
+      | Error msg ->
+          check ("error names " ^ old ^ " and the expected version") true
+            (contains old msg && contains "lbc-campaign/3" msg))
+    [ "lbc-campaign/1"; "lbc-campaign/2" ]
+
+let test_quarantined_section_roundtrip () =
+  let a = C.Runner.run_exn ~config:(config ()) (small_grid ()) in
+  let a =
+    {
+      a with
+      C.Artifact.quarantined =
+        [
+          { C.Artifact.shard = 1; message = "Stack_overflow" };
+          { C.Artifact.shard = 3; message = "worker died" };
+        ];
+    }
+  in
+  (match C.Artifact.of_string (C.Artifact.to_string a) with
+  | Ok a' ->
+      check "quarantined entries survive the roundtrip" true
+        (a'.C.Artifact.quarantined = a.C.Artifact.quarantined)
+  | Error e -> Alcotest.failf "artifact parse: %s" e);
+  let s = C.Artifact.summarize a in
+  check_int "summary counts quarantined shards" 2
+    s.C.Artifact.quarantined_shards;
+  check "quarantine is part of the deterministic portion" true
+    (C.Artifact.deterministic_string a
+    <> C.Artifact.deterministic_string { a with C.Artifact.quarantined = [] })
 
 (* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
@@ -506,6 +696,60 @@ let prop_stats_deterministic_across_domains =
       && C.Artifact.deterministic_string a1
          = C.Artifact.deterministic_string a4)
 
+(* Satellite property: with the same chaos seed, perturbation decisions
+   are a pure function of (scenario, campaign seed) — never of worker
+   scheduling — so chaos-perturbed artifacts stay byte-identical at any
+   domain count. *)
+let chaos_grid_of_ints (n, mask, drop_i) =
+  let spec =
+    { Lbc_sim.Perturb.zero with Lbc_sim.Perturb.drop = float_of_int drop_i /. 20. }
+  in
+  Grid.with_chaos spec (grid_of_ints (n, mask, 1))
+
+let prop_chaos_deterministic_across_domains =
+  QCheck.Test.make ~name:"chaos artifacts byte-identical for domains 1 vs 4"
+    ~count:6
+    QCheck.(triple (int_range 4 6) (int_range 0 7) (int_range 1 4))
+    (fun (n, mask, drop_i) ->
+      let grid () = chaos_grid_of_ints (n, mask, drop_i) in
+      let a1 = C.Runner.run_exn ~config:(config ~domains:1 ()) (grid ()) in
+      let a4 = C.Runner.run_exn ~config:(config ~domains:4 ()) (grid ()) in
+      C.Artifact.deterministic_string a1 = C.Artifact.deterministic_string a4)
+
+let test_chaos_resume_matches_uninterrupted () =
+  let path = Filename.temp_file "lbc-chaos-checkpoint" ".progress" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let grid () = chaos_grid_of_ints (5, 7, 3) in
+      let baseline = C.Runner.run_exn ~config:(config ()) (grid ()) in
+      (match
+         C.Runner.run
+           ~config:(config ~checkpoint:path ~stop_after:2 ())
+           (grid ())
+       with
+      | C.Runner.Partial _ -> ()
+      | C.Runner.Complete _ -> Alcotest.fail "expected Partial");
+      match
+        C.Runner.run ~config:(config ~domains:3 ~checkpoint:path ()) (grid ())
+      with
+      | C.Runner.Partial _ -> Alcotest.fail "expected Complete"
+      | C.Runner.Complete resumed ->
+          check_str "chaos campaign resumed = uninterrupted"
+            (C.Artifact.deterministic_string baseline)
+            (C.Artifact.deterministic_string resumed))
+
+let test_chaos_segment_in_scenario_id () =
+  let spec = { Lbc_sim.Perturb.zero with Lbc_sim.Perturb.drop = 0.1 } in
+  let plain = scenario () in
+  let chaotic = { plain with Scenario.chaos = Some spec } in
+  check_str "chaos id appends a segment"
+    (Scenario.id plain ^ "|chaos=drop=0.1")
+    (Scenario.id chaotic);
+  check "chaotic scenarios get distinct seeds" true
+    (Scenario.scenario_seed ~base:0 plain
+    <> Scenario.scenario_seed ~base:0 chaotic)
+
 let test_n100_grid_registered () =
   match C.Grids.by_name "n100" with
   | None -> Alcotest.fail "n100 grid missing"
@@ -546,6 +790,10 @@ let () =
           Alcotest.test_case "executes all tasks" `Quick test_pool_executes_all;
           Alcotest.test_case "propagates exceptions" `Quick
             test_pool_propagates_exception;
+          Alcotest.test_case "quarantine after retry" `Quick
+            test_pool_contained_quarantines_after_retry;
+          Alcotest.test_case "retry heals transient" `Quick
+            test_pool_contained_retry_heals_transient;
         ] );
       ( "runner",
         [
@@ -560,11 +808,30 @@ let () =
           Alcotest.test_case "corrupt line skipped" `Quick
             test_corrupt_checkpoint_line_skipped;
           Alcotest.test_case "raising progress callback" `Quick
-            test_raising_progress_callback_no_deadlock;
+            test_raising_progress_callback_self_heals;
           Alcotest.test_case "wall_s clamped" `Quick test_wall_s_clamped_on_parse;
-          Alcotest.test_case "v1 artifact rejected" `Quick
-            test_v1_artifact_rejected;
+          Alcotest.test_case "old artifacts rejected" `Quick
+            test_old_artifacts_rejected;
+          Alcotest.test_case "quarantined section roundtrip" `Quick
+            test_quarantined_section_roundtrip;
         ] );
+      ( "containment",
+        [
+          Alcotest.test_case "crashed scenario contained" `Quick
+            test_crashed_scenario_contained;
+          Alcotest.test_case "strict mode reports scenario id" `Quick
+            test_strict_mode_reports_scenario_id;
+          Alcotest.test_case "max_rounds times out" `Quick
+            test_max_rounds_times_out;
+          Alcotest.test_case "failure verdicts deterministic" `Quick
+            test_failure_verdicts_deterministic_across_domains;
+        ] );
+      ( "chaos",
+        Alcotest.test_case "chaos id segment" `Quick
+          test_chaos_segment_in_scenario_id
+        :: Alcotest.test_case "chaos resume = uninterrupted" `Quick
+             test_chaos_resume_matches_uninterrupted
+        :: qt [ prop_chaos_deterministic_across_domains ] );
       ( "stats",
         Alcotest.test_case "merge" `Quick test_stats_merge
         :: Alcotest.test_case "artifact stats" `Quick test_artifact_carries_stats
