@@ -95,7 +95,7 @@ let parse_graph spec =
                      | _ -> failwith "bad edge")
             in
             Ok (G.of_edges n edges)
-          with _ -> fail "bad edge list")
+          with Failure _ | Invalid_argument _ -> fail "bad edge list")
       | None -> fail "bad n")
   | _ ->
       fail
@@ -112,7 +112,7 @@ let parse_id_list s =
   try
     Some
       (Nodeset.of_list (List.map int_of_string (String.split_on_char ',' s)))
-  with _ -> None
+  with Failure _ -> None
 
 let parse_strategy s =
   match String.split_on_char ':' s with
@@ -162,7 +162,7 @@ let parse_nodeset s =
       Ok
         (Nodeset.of_list
            (List.map int_of_string (String.split_on_char ',' s)))
-    with _ -> Error (`Msg "expected comma-separated node ids")
+    with Failure _ -> Error (`Msg "expected comma-separated node ids")
 
 let nodeset_conv = Cmdliner.Arg.conv (parse_nodeset, Nodeset.pp)
 
@@ -171,7 +171,8 @@ let parse_inputs s =
     Ok
       (Array.init (String.length s) (fun i ->
            Bit.of_int (Char.code s.[i] - Char.code '0')))
-  with _ -> Error (`Msg "expected a 01-string, e.g. 01011")
+  with Invalid_argument _ ->
+    Error (`Msg "expected a 01-string, e.g. 01011")
 
 let inputs_conv =
   Cmdliner.Arg.conv
@@ -664,6 +665,14 @@ let do_report path fingerprint stats =
       end
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let do_lint roots baseline write_baseline json =
+  Lbc_lint.Driver.main
+    { Lbc_lint.Driver.roots; baseline; write_baseline; json }
+
+(* ------------------------------------------------------------------ *)
 (* sweep                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -986,6 +995,42 @@ let campaign_cmd =
       const do_campaign $ exp $ gspec $ algo $ f_arg $ quick $ domains $ seed
       $ shard_size $ out $ max_shards $ chaos $ max_rounds $ strict)
 
+let lint_cmd =
+  let roots =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:"Files or directories to lint (default: lib bin bench test).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Baseline of grandfathered findings (only D2/D4/D5).")
+  in
+  let write_baseline =
+    Arg.(
+      value & flag
+      & info [ "write-baseline" ]
+          ~doc:"Regenerate $(b,--baseline) from the current findings.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit a machine-readable lbclint/1 JSON report.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static determinism & domain-safety analysis (rules D1-D6): no \
+          wall clocks, no unordered Hashtbl traversal reaching output, no \
+          ambient Random state, no polymorphic compare in lib/, no \
+          unguarded top-level mutable state, no exception-swallowing \
+          catch-alls. Exits 0 clean / 1 findings / 2 config or parse \
+          error.")
+    Term.(const do_lint $ roots $ baseline $ write_baseline $ json)
+
 let report_cmd =
   let path =
     Arg.(
@@ -1025,4 +1070,5 @@ let () =
           [
             check_cmd; gen_cmd; run_cmd; attack_cmd; forensics_cmd;
             predict_cmd; fuzz_cmd; sweep_cmd; campaign_cmd; report_cmd;
+            lint_cmd;
           ]))

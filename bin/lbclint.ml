@@ -1,0 +1,59 @@
+(* lbclint: determinism & domain-safety analyzer for this repository.
+
+   Walks every .ml/.mli under the given roots (default: lib bin bench
+   test), enforces rules D1-D6 (see lib/lint/rules.mli), honours inline
+   suppressions and the checked-in baseline, and exits 0 (clean),
+   1 (findings) or 2 (configuration/parse error). Also available as
+   `lbcast lint`. *)
+
+open Cmdliner
+
+let do_lint roots baseline write_baseline json =
+  Lbc_lint.Driver.main
+    { Lbc_lint.Driver.roots; baseline; write_baseline; json }
+
+let roots_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"PATH"
+        ~doc:
+          "Files or directories to lint (default: lib bin bench test). \
+           Directories named _build, .git and lint_fixtures are skipped \
+           during recursion.")
+
+let baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:
+          "Checked-in baseline of grandfathered findings (RULE FILE COUNT \
+           per line; only rules D2/D4/D5 are baselinable).")
+
+let write_baseline_arg =
+  Arg.(
+    value & flag
+    & info [ "write-baseline" ]
+        ~doc:
+          "Regenerate $(b,--baseline) from the current findings instead of \
+           gating on it. Non-baselinable findings (D1/D3/D6, malformed \
+           suppressions) are printed and keep the exit code non-zero.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit a machine-readable lbclint/1 JSON report instead of \
+           human-readable lines.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "lbclint" ~version:"1.0.0"
+       ~doc:
+         "Static determinism & domain-safety analyzer (rules D1-D6) for \
+          the lbcast repository.")
+    Term.(
+      const do_lint $ roots_arg $ baseline_arg $ write_baseline_arg $ json_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -27,9 +27,20 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== smoke campaign (2 domains) =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT INT TERM
+
+echo "== lbclint gate =="
+# Determinism & domain-safety static analysis: fails on any finding not
+# absorbed by lint-baseline; the JSON report lands next to the campaign
+# artifacts. Reason-less suppressions are SUP findings and always fail.
+dune build @lint
+dune exec bin/lbclint.exe -- --json --baseline lint-baseline \
+  lib bin bench test | tee "$tmp/lint.json"
+grep -q '"exit":0' "$tmp/lint.json" \
+  || { echo "FAIL: lbclint reported findings"; exit 1; }
+
+echo "== smoke campaign (2 domains) =="
 
 dune exec bin/lbcast.exe -- campaign --exp smoke --domains 2 \
   --out "$tmp/smoke2.json"

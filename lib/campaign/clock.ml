@@ -1,0 +1,6 @@
+(* Monotonic: wall_s deltas must never go negative under NTP steps or
+   DST; Unix.gettimeofday is not monotonic (and is banned by lint rule
+   D1). Shared so every timed path — runner shards, CLI progress, future
+   subsystems — reads the same clock. *)
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9

@@ -1,0 +1,11 @@
+(** The repo's only sanctioned wall-clock source.
+
+    [Unix.gettimeofday]/[Sys.time] are banned (lint rule D1): they are
+    not monotonic, so durations computed from them can go negative under
+    NTP steps, and they leak nondeterminism into anything that records
+    them. This helper reads the monotonic clock; its absolute value is
+    meaningless, only deltas are. *)
+
+val now_s : unit -> float
+(** Monotonic timestamp in seconds. Use [now_s () -. start] for
+    durations; never persist absolute values. *)

@@ -119,8 +119,9 @@ let parse_string st =
               fail st "truncated \\u escape";
             let hex = String.sub st.src st.pos 4 in
             let code =
-              try int_of_string ("0x" ^ hex)
-              with _ -> fail st "bad \\u escape"
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some code -> code
+              | None -> fail st "bad \\u escape"
             in
             st.pos <- st.pos + 4;
             (* Encode the code point as UTF-8; the artifacts only ever

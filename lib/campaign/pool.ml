@@ -131,4 +131,4 @@ let run_contained ?(describe = fun _ _ -> "") ~domains ~tasks f =
             Mutex.unlock failures_mutex)
   in
   drive sh ~domains ~tasks exec;
-  List.sort (fun a b -> compare a.index b.index) !failures
+  List.sort (fun a b -> Int.compare a.index b.index) !failures

@@ -25,9 +25,7 @@ type outcome =
   | Complete of Artifact.t
   | Partial of { completed : int; total : int; dropped_lines : int }
 
-(* Monotonic: wall_s deltas must never go negative under NTP steps or
-   DST; Unix.gettimeofday is not monotonic. *)
-let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+let now = Clock.now_s
 
 let run ?(config = default) grid =
   let config =

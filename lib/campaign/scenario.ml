@@ -265,6 +265,15 @@ let failed_verdict ~index s status =
   }
 
 let execute ?(base_seed = 0) ?max_rounds ~index s =
+  (* Backtrace recording is per-domain runtime state and is off in
+     freshly spawned domains, so without forcing it on here a crashed
+     verdict's backtrace would depend on which domain (and which
+     embedding program) happened to run the shard. Force it on for the
+     duration, restoring the caller's setting on the way out. *)
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect ~finally:(fun () -> Printexc.record_backtrace prev)
+  @@ fun () ->
   try execute_strict ~base_seed ?max_rounds ~index s with
   | Engine.Fuel_exhausted { budget } ->
       failed_verdict ~index s (Timed_out { budget })
@@ -286,6 +295,12 @@ let execute ?(base_seed = 0) ?max_rounds ~index s =
              repro = repro_command s ~seed;
            })
 
+(* Counter lists are sorted before merging; key then value, the same
+   order the polymorphic compare gave on (string * int) pairs, so the
+   artifact byte layout is unchanged. *)
+let compare_counter (a, x) (b, y) =
+  match String.compare a b with 0 -> Int.compare x y | c -> c
+
 let execute_observed ?base_seed ?max_rounds ~index s =
   let v, report =
     Lbc_obs.Obs.record (fun () -> execute ?base_seed ?max_rounds ~index s)
@@ -294,7 +309,7 @@ let execute_observed ?base_seed ?max_rounds ~index s =
      per-algo aggregates carry round/phase/message sums even for
      uninstrumented baselines. *)
   let verdict_counters =
-    List.sort compare
+    List.sort compare_counter
       ([
          ("verdict.ok", if v.ok then 1 else 0);
          ("verdict.violations", if v.ok then 0 else 1);
@@ -312,7 +327,7 @@ let execute_observed ?base_seed ?max_rounds ~index s =
   let counters =
     Lbc_obs.Obs.merge_counters report.Lbc_obs.Obs.counters
       (Lbc_obs.Obs.merge_counters
-         (List.sort compare
+         (List.sort compare_counter
             (Lbc_obs.Obs.flatten_stats report.Lbc_obs.Obs.stats))
          verdict_counters)
   in

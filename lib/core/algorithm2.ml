@@ -73,8 +73,19 @@ let with_defaults g ~who heard =
   heard
   @ List.map (fun w -> (w, { Flood.value = Bit.default; path = [] })) missing
 
+(* Same order as the polymorphic compare this replaces: sender, then wire
+   value, then wire path. All three fields must participate so that
+   [sort_uniq] still deduplicates exact duplicates only. *)
+let compare_report (z1, (m1 : Bit.t Flood.wire)) (z2, (m2 : Bit.t Flood.wire)) =
+  match Int.compare z1 z2 with
+  | 0 -> (
+      match Bit.compare m1.Flood.value m2.Flood.value with
+      | 0 -> Lbc_sim.Det.compare_int_list m1.Flood.path m2.Flood.path
+      | c -> c)
+  | c -> c
+
 let reports_of g ~who heard : report list =
-  List.sort_uniq compare (with_defaults g ~who heard)
+  List.sort_uniq compare_report (with_defaults g ~who heard)
 
 (* A faulty node's heard log, reconstructed from the recorded phase-1
    transcript (it hears every broadcast by a neighbour); like honest
@@ -252,7 +263,13 @@ let type_a_decision g ~me ~detected ~store1 ~store3 =
            origin <> me
            && (not (Nodeset.mem origin detected))
            && G.path_excludes path detected)
-    |> List.sort compare
+    |> List.sort (fun (o1, p1, d1) (o2, p2, d2) ->
+           match Int.compare o1 o2 with
+           | 0 -> (
+               match Lbc_sim.Det.compare_int_list p1 p2 with
+               | 0 -> Bit.compare d1 d2
+               | c -> c)
+           | c -> c)
   in
   match candidate with
   | (_, _, delta) :: _ -> delta

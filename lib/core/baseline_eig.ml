@@ -23,7 +23,7 @@ let honest_proc ~n ~f ~me ~input : (msg, Bit.t) Engine.proc =
             if
               List.length label = round - 1
               && (not (List.mem j label))
-              && List.length (List.sort_uniq compare label)
+              && List.length (List.sort_uniq Int.compare label)
                  = List.length label
               && not (Hashtbl.mem table (label @ [ j ]))
             then Hashtbl.replace table (label @ [ j ]) b)
@@ -31,6 +31,8 @@ let honest_proc ~n ~f ~me ~input : (msg, Bit.t) Engine.proc =
       inbox;
     if round > f then []
     else begin
+      (* Reports go on the wire; sort by label (a unique key of [table])
+         so the message layout never depends on Hashtbl order. *)
       let reports =
         Hashtbl.fold
           (fun label b acc ->
@@ -38,6 +40,7 @@ let honest_proc ~n ~f ~me ~input : (msg, Bit.t) Engine.proc =
               (label, b) :: acc
             else acc)
           table []
+        |> List.sort Lbc_sim.Det.by_fst_int_list
       in
       (* A node does not hear its own broadcast; record its child labels
          directly. *)

@@ -19,7 +19,7 @@ let level_reports table ~me ~level : msg =
         (label, b) :: acc
       else acc)
     table []
-  |> List.sort compare
+  |> List.sort Lbc_sim.Det.by_fst_int_list
 
 (* Store sender [w]'s accepted level-[s] reports as level-[s+1] entries. *)
 let apply_reports table ~from:w ~level (m : msg) =
@@ -28,7 +28,7 @@ let apply_reports table ~from:w ~level (m : msg) =
       if
         List.length label = level
         && (not (List.mem w label))
-        && List.length (List.sort_uniq compare label) = List.length label
+        && List.length (List.sort_uniq Int.compare label) = List.length label
         && not (Hashtbl.mem table (label @ [ w ]))
       then Hashtbl.replace table (label @ [ w ]) b)
     m

@@ -32,12 +32,19 @@ let honest_proc g ~f ~me ~source ~is_source_value =
           end
         end)
       inbox;
+    (* Probe the two possible keys in a fixed order rather than iterating
+       the table: which value wins a same-round tie must not depend on
+       Hashtbl order. (At most one value can actually reach f+1 honest
+       relayers, but a deterministic tie-break costs nothing.) *)
     if !committed = None then
-      Hashtbl.iter
-        (fun b seen ->
-          if Nodeset.cardinal seen >= f + 1 && !committed = None then
-            committed := Some b)
-        support;
+      List.iter
+        (fun b ->
+          match Hashtbl.find_opt support b with
+          | Some seen
+            when !committed = None && Nodeset.cardinal seen >= f + 1 ->
+              committed := Some b
+          | _ -> ())
+        [ Bit.Zero; Bit.One ];
     match !committed with
     | Some b when not !relayed ->
         relayed := true;

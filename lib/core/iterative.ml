@@ -9,9 +9,12 @@ type history = { states : float array; spread : float list; rounds : int }
    own state. *)
 let wmsr_update ~f ~own values =
   let above =
-    List.filter (fun v -> v > own) values |> List.sort (fun a b -> compare b a)
+    List.filter (fun v -> v > own) values
+    |> List.sort (fun a b -> Float.compare b a)
   in
-  let below = List.filter (fun v -> v < own) values |> List.sort compare in
+  let below =
+    List.filter (fun v -> v < own) values |> List.sort Float.compare
+  in
   let equal_own = List.filter (fun v -> v = own) values in
   let drop k l =
     let rec go k l = if k = 0 then l else match l with [] -> [] | _ :: t -> go (k - 1) t in

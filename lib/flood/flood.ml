@@ -121,6 +121,10 @@ let proc t : ('v wire, 'v store) Lbc_sim.Engine.proc =
   in
   { step; output = (fun () -> t) }
 
+(* Record order is observable (callers pick first-of-sorted candidates,
+   e.g. Algorithm 2's type-A adoption), so the store traversal must not
+   leak Hashtbl order: sort by the path, which is a unique key of
+   [t.recs]. *)
 let records t =
   Lbc_obs.Obs.observe "flood.store_size" (Hashtbl.length t.recs);
   Hashtbl.fold
@@ -129,17 +133,17 @@ let records t =
       | origin :: _ -> (origin, path, v) :: acc
       | [] -> acc)
     t.recs []
+  |> List.sort (fun (_, p, _) (_, q, _) -> Lbc_sim.Det.compare_int_list p q)
 
 let value_along t ~path = Hashtbl.find_opt t.recs path
 
 let origin_values t ~origin =
-  let vals =
-    Hashtbl.fold
-      (fun path v acc ->
-        match path with o :: _ when o = origin -> v :: acc | _ -> acc)
-      t.recs []
-  in
-  List.sort_uniq compare vals
+  Hashtbl.fold
+    (fun path v acc ->
+      match path with o :: _ when o = origin -> v :: acc | _ -> acc)
+    t.recs []
+  (* lbclint: disable=D4 'v is instantiated at Bit.t and int only (scalar) *)
+  |> List.sort_uniq compare
 
 (* Disjoint-path counting is a packing problem over the *actually
    received* record paths: the paper's "v receives value δ along f+1
@@ -162,6 +166,10 @@ let packing_count masks ~limit = Packing.count masks ~limit
 (* Masks of qualifying records: [keep path value] selects records; [mask]
    maps a path to the node set relevant for disjointness. *)
 let record_masks t ~keep ~mask =
+  (* The mask multiset feeds Packing.count, a maximum-packing size that is
+     invariant under permutation of its input (Packing.count canonicalises
+     with sort_uniq itself), so Hashtbl order cannot leak. *)
+  (* lbclint: disable=D2 order-insensitive consumer, see comment above *)
   Hashtbl.fold
     (fun path v acc -> if keep path v then mask path :: acc else acc)
     t.recs []

@@ -1,10 +1,22 @@
 (* Multi-word bitsets. The representation is canonical — no trailing
    zero words — so structural equality coincides with set equality and
-   the polymorphic order is a total order usable by [List.sort_uniq].
+   [compare_mask] below is a total order usable by [List.sort_uniq].
    Each word holds [bpw] bits; the sign bit stays clear so every word is
    non-negative. *)
 
 type mask = int array
+
+(* Shorter arrays first, then word-lexicographic: the same order the
+   polymorphic compare gave on int arrays, spelled out monomorphically. *)
+let compare_mask (a : mask) (b : mask) =
+  match Int.compare (Array.length a) (Array.length b) with
+  | 0 ->
+      let rec go i =
+        if i = Array.length a then 0
+        else match Int.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+      in
+      go 0
+  | c -> c
 
 let bpw = Sys.int_size - 1
 
@@ -52,7 +64,7 @@ let popcount m = Array.fold_left (fun acc w -> acc + popcount_word w) 0 m
 let count masks ~limit =
   if limit <= 0 then 0
   else begin
-    let masks = List.sort_uniq compare masks in
+    let masks = List.sort_uniq compare_mask masks in
     (* The empty mask conflicts with nothing: it always contributes one
        packed element and must not take part in domination (it is a subset
        of everything). *)
@@ -72,7 +84,7 @@ let count masks ~limit =
     in
     let arr =
       Array.of_list
-        (List.sort (fun a b -> compare (popcount a) (popcount b)) masks)
+        (List.sort (fun a b -> Int.compare (popcount a) (popcount b)) masks)
     in
     let len = Array.length arr in
     (* Scratch accumulator of the nodes used along the current DFS branch;

@@ -1,0 +1,30 @@
+(** Checked-in baseline of grandfathered findings.
+
+    Format: one entry per line, [RULE FILE COUNT], ['#'] comments.
+    Entries are line-number-free on purpose: an entry absorbs up to
+    [COUNT] findings of [RULE] in [FILE], so ordinary edits don't churn
+    the baseline but a new finding in the same file still fails the
+    gate. Only baselinable rules (D2/D4/D5) may appear. *)
+
+type entry = { rule : Rules.rule; file : string; count : int }
+type t = entry list
+
+val empty : t
+val of_string : string -> (t, string) result
+val load : path:string -> (t, string) result
+
+val apply :
+  t ->
+  Rules.finding list ->
+  Rules.finding list * Rules.finding list * (string * string * int) list
+(** [apply t findings] = [(kept, absorbed, stale)]: findings the
+    baseline does not cover, findings it absorbs, and per-entry unused
+    remainders [(rule_id, file, unused_count)] (a stale baseline is
+    reported but never fails the gate). *)
+
+val of_findings : Rules.finding list -> t * Rules.finding list
+(** Group findings into entries; non-baselinable findings are returned
+    in the second component (they must be fixed or suppressed inline). *)
+
+val to_string : t -> string
+val save : path:string -> t -> unit

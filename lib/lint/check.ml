@@ -1,0 +1,219 @@
+(* AST-level rule checks over one parsed source file.
+
+   The walker is an [Ast_iterator] with two pieces of context threaded
+   through mutable state: [sorted] (are we inside an expression whose
+   result is fed to a deterministic sort? — sanctions Hashtbl.fold for
+   D2) and the accumulated findings. Scope ([Lib] vs [App]) widens the
+   rule set inside [lib/]: D4 (polymorphic comparison) and D5 (top-level
+   mutable state) only apply there, because only library modules are
+   reachable from campaign pool workers and from the deterministic
+   artifact paths. *)
+
+type scope = Lib | App
+
+let scope_of_path path =
+  if List.mem "lib" (String.split_on_char '/' path) then Lib else App
+
+type ctx = {
+  file : string;
+  scope : scope;
+  mutable sorted : int;
+  mutable findings : Rules.finding list;
+}
+
+let add ctx rule (loc : Location.t) message =
+  let p = loc.Location.loc_start in
+  ctx.findings <-
+    {
+      Rules.rule;
+      file = ctx.file;
+      line = p.Lexing.pos_lnum;
+      col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+      message;
+    }
+    :: ctx.findings
+
+(* [Longident] paths as string lists; functor applications yield [] and
+   are never flagged. *)
+let rec flatten acc (li : Longident.t) =
+  match li with
+  | Longident.Lident s -> s :: acc
+  | Longident.Ldot (p, s) -> flatten (s :: acc) p
+  | Longident.Lapply _ -> []
+
+(* The identifier heading an application chain: [List.sort cmp xs] and
+   [List.sort cmp] both yield [["List"; "sort"]]. *)
+let rec head_idents (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } -> flatten [] txt
+  | Parsetree.Pexp_apply (f, _) -> head_idents f
+  | _ -> []
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.sub hay i nn = needle || go (i + 1)
+  in
+  go 0
+
+(* Anything whose terminal name mentions "sort" sanctions a Hashtbl.fold
+   fed into it: List.sort, List.sort_uniq, List.stable_sort, and local
+   helpers in the sorted_assoc style. *)
+let is_sortish ids =
+  match List.rev ids with
+  | name :: _ -> contains_sub (String.lowercase_ascii name) "sort"
+  | [] -> false
+
+let check_ident ctx ~applied (loc : Location.t) ids =
+  let path = String.concat "." ids in
+  match ids with
+  | [ "Unix"; "gettimeofday" ] | [ "Sys"; "time" ] | [ "Unix"; "time" ] ->
+      add ctx Rules.D1 loc
+        (path
+       ^ " reads the wall clock (non-monotonic, nondeterministic); use \
+          Lbc_campaign.Clock.now_s")
+  | [ "Hashtbl"; "iter" ] ->
+      add ctx Rules.D2 loc
+        "Hashtbl.iter visits bindings in unspecified order; iterate a \
+         deterministically sorted key list instead, or suppress with a \
+         reason"
+  | [ "Hashtbl"; "fold" ] when ctx.sorted = 0 ->
+      add ctx Rules.D2 loc
+        "Hashtbl.fold result order is unspecified; pipe the fold into a \
+         deterministic sort (e.g. |> List.sort cmp), or suppress with a \
+         reason"
+  | "Random" :: f :: _ when f <> "State" ->
+      add ctx Rules.D3 loc
+        (path
+       ^ " draws from ambient global Random state; route randomness \
+          through the seeded splitmix64/FNV paths (or Random.State with \
+          an explicit seed)")
+  | [ "Hashtbl"; "hash" ] when ctx.scope = Lib ->
+      add ctx Rules.D4 loc
+        "Hashtbl.hash is polymorphic and its value is not documented to \
+         be stable; hash the scalar fields explicitly (see \
+         Scenario.fingerprint)"
+  | ([ "compare" ] | [ "Stdlib"; "compare" ]) when ctx.scope = Lib ->
+      add ctx Rules.D4 loc
+        "polymorphic compare diverges on cycles and breaks on functional \
+         values; use a monomorphic comparator (Int.compare, \
+         String.compare, Lbc_sim.Det)"
+  | ([ "=" ] | [ "<>" ] | [ "Stdlib"; "=" ] | [ "Stdlib"; "<>" ])
+    when ctx.scope = Lib && not applied ->
+      add ctx Rules.D4 loc
+        "polymorphic equality passed as a first-class value; pass a \
+         monomorphic equal function instead"
+  | _ -> ()
+
+let rec is_catch_all (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Parsetree.Ppat_any -> true
+  | Parsetree.Ppat_or (a, b) -> is_catch_all a || is_catch_all b
+  | _ -> false
+
+let check_try ctx (cases : Parsetree.case list) =
+  List.iter
+    (fun (c : Parsetree.case) ->
+      if c.Parsetree.pc_guard = None && is_catch_all c.Parsetree.pc_lhs then
+        add ctx Rules.D6 c.Parsetree.pc_lhs.ppat_loc
+          "catch-all 'with _ ->' swallows every exception (including \
+           Stack_overflow and the containment layer's signals); match \
+           the specific exceptions, or bind and re-raise")
+    cases
+
+(* Top-level mutable state (D5): a structure-level binding whose
+   right-hand side is an application of a well-known mutable-container
+   constructor. Domain.DLS.new_key and Mutex.create do not match: those
+   ARE the sanctioned guards. *)
+let d5_creators =
+  [
+    [ "ref" ];
+    [ "Hashtbl"; "create" ];
+    [ "Buffer"; "create" ];
+    [ "Queue"; "create" ];
+    [ "Stack"; "create" ];
+  ]
+
+let check_top_binding ctx (vb : Parsetree.value_binding) =
+  let rec peel (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Parsetree.Pexp_constraint (inner, _) -> peel inner
+    | _ -> e
+  in
+  let rhs = peel vb.Parsetree.pvb_expr in
+  match rhs.pexp_desc with
+  | Parsetree.Pexp_apply (f, _) ->
+      let ids = head_idents f in
+      if List.mem ids d5_creators then
+        add ctx Rules.D5 vb.Parsetree.pvb_loc
+          (String.concat "." ids
+         ^ " at module top level is shared mutable state once the module \
+            is reachable from pool workers; guard it with Mutex or \
+            Domain.DLS, or allocate it inside the computation")
+  | _ -> ()
+
+let iterator ctx =
+  let default = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Parsetree.Pexp_ident { txt; _ } ->
+        check_ident ctx ~applied:false e.pexp_loc (flatten [] txt)
+    | Parsetree.Pexp_try (_, cases) ->
+        check_try ctx cases;
+        default.expr it e
+    | Parsetree.Pexp_apply (f, args) ->
+        (match f.pexp_desc with
+        | Parsetree.Pexp_ident { txt; _ } ->
+            check_ident ctx ~applied:true f.pexp_loc (flatten [] txt)
+        | _ -> it.Ast_iterator.expr it f);
+        let fids = head_idents f in
+        let sortish_call = is_sortish fids in
+        (* A pipe into a sort sanctions the producing side:
+           [fold ... |> List.sort cmp] and [List.sort cmp @@ fold ...]. *)
+        let sanctioned =
+          match (fids, args) with
+          | [ "|>" ], [ (_, lhs); (_, rhs) ] when is_sortish (head_idents rhs)
+            ->
+              [ lhs ]
+          | [ "@@" ], [ (_, lhs); (_, rhs) ] when is_sortish (head_idents lhs)
+            ->
+              [ rhs ]
+          | _ -> []
+        in
+        List.iter
+          (fun (_, a) ->
+            if sortish_call || List.memq a sanctioned then begin
+              ctx.sorted <- ctx.sorted + 1;
+              it.Ast_iterator.expr it a;
+              ctx.sorted <- ctx.sorted - 1
+            end
+            else it.Ast_iterator.expr it a)
+          args
+    | _ -> default.expr it e
+  in
+  let structure_item it (si : Parsetree.structure_item) =
+    (match si.pstr_desc with
+    | Parsetree.Pstr_value (_, vbs) when ctx.scope = Lib ->
+        List.iter (check_top_binding ctx) vbs
+    | _ -> ());
+    default.structure_item it si
+  in
+  { default with Ast_iterator.expr; structure_item }
+
+let file ?scope ~path text =
+  let scope = match scope with Some s -> s | None -> scope_of_path path in
+  let ctx = { file = path; scope; sorted = 0; findings = [] } in
+  let lexbuf = Lexing.from_string text in
+  Lexing.set_filename lexbuf path;
+  Location.init lexbuf path;
+  let it = iterator ctx in
+  (try
+     if Filename.check_suffix path ".mli" then
+       it.Ast_iterator.signature it (Parse.interface lexbuf)
+     else it.Ast_iterator.structure it (Parse.implementation lexbuf)
+   with
+  | Syntaxerr.Error err ->
+      add ctx Rules.Parse (Syntaxerr.location_of_error err) "syntax error"
+  | Lexer.Error (_, loc) -> add ctx Rules.Parse loc "lexical error");
+  List.sort Rules.compare_finding ctx.findings

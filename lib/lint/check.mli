@@ -1,0 +1,14 @@
+(** AST-level rule checks over one source file (compiler-libs). *)
+
+type scope =
+  | Lib  (** under a [lib/] path: D4 and D5 additionally apply *)
+  | App  (** bin/bench/test: D1, D2, D3, D6 only *)
+
+val scope_of_path : string -> scope
+(** [Lib] iff some ['/']-separated component of the path is ["lib"]. *)
+
+val file : ?scope:scope -> path:string -> string -> Rules.finding list
+(** [file ~path text] parses [text] as the contents of [path] ([.mli] →
+    interface, otherwise implementation) and returns the raw findings,
+    sorted, suppressions not yet applied. An unparseable file yields a
+    single [Rules.Parse] finding. [?scope] overrides [scope_of_path]. *)

@@ -1,0 +1,41 @@
+(** Orchestration: walk, lint, suppress, baseline, render, exit code.
+
+    Exit-code contract (stable; ci.sh and the fixture tests rely on it):
+    [0] clean, [1] actionable findings, [2] configuration or parse
+    error. *)
+
+val default_roots : string list
+(** [lib; bin; bench; test] *)
+
+type outcome = {
+  files : int;  (** number of files linted *)
+  actionable : Rules.finding list;
+      (** survived suppression and baseline — these fail the gate *)
+  suppressed : Rules.finding list;
+  baselined : Rules.finding list;
+  stale : (string * string * int) list;
+      (** baseline entries with unmatched count: (rule id, file, n) *)
+  errors : string list;  (** unreadable roots/files *)
+}
+
+val analyze : ?baseline:Baseline.t -> roots:string list -> unit -> outcome
+(** Deterministic: files are discovered and reported in sorted order.
+    Directories named [_build], [.git] or [lint_fixtures] are skipped
+    during recursion (explicit roots are always entered). *)
+
+val exit_code : outcome -> int
+
+val render_human : Format.formatter -> outcome -> unit
+val render_json : Format.formatter -> outcome -> unit
+
+type config = {
+  roots : string list;  (** empty means [default_roots] *)
+  baseline : string option;
+  write_baseline : bool;  (** regenerate [baseline] instead of gating *)
+  json : bool;
+}
+
+val main : ?fmt:Format.formatter -> config -> int
+(** Run end to end, print to [fmt] (default stdout), return the exit
+    code (not calling [exit]). A missing baseline file is treated as
+    empty so that [--write-baseline] can create it. *)

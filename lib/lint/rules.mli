@@ -1,0 +1,49 @@
+(** The lbclint rule registry.
+
+    Determinism and domain-safety rules enforced over [lib/ bin/ bench/
+    test/]. [D1]-[D6] are the user-facing rules; [Badsup] and [Parse]
+    are synthetic findings produced by the engine itself (a malformed
+    suppression directive, an unparseable file) and can be neither
+    suppressed nor baselined. *)
+
+type severity = Error | Warning
+
+type rule =
+  | D1  (** wall-clock primitives outside the monotonic-clock helper *)
+  | D2  (** [Hashtbl.iter]/[fold] whose order can reach observable output *)
+  | D3  (** [Random.self_init] / ambient global [Random] state *)
+  | D4  (** polymorphic [compare]/[=]/[Hashtbl.hash] in [lib/] *)
+  | D5  (** unguarded top-level mutable state in [lib/] *)
+  | D6  (** exception-swallowing [try ... with _ ->] *)
+  | Badsup  (** suppression directive missing its mandatory reason *)
+  | Parse  (** file failed to parse *)
+
+val all : rule list
+(** The six user-facing rules, in order. *)
+
+val id : rule -> string
+(** Stable identifier: ["D1"].."D6", ["SUP"], ["PARSE"]. *)
+
+val of_id : string -> rule option
+(** Inverse of [id] over [all] only: synthetic rules are not nameable in
+    suppression directives or baselines. *)
+
+val severity : rule -> severity
+val severity_string : severity -> string
+
+val baselinable : rule -> bool
+(** D2/D4/D5 may be grandfathered in the baseline file; D1/D3/D6 (and
+    the synthetic rules) must always be fixed or suppressed inline. *)
+
+val describe : rule -> string
+
+type finding = {
+  rule : rule;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as in compiler locations *)
+  message : string;
+}
+
+val compare_finding : finding -> finding -> int
+(** Total order: file, line, col, rule, message. *)

@@ -1,0 +1,108 @@
+(* Inline suppression directives:
+
+     (* lbclint: disable=D2 <mandatory reason> *)
+
+   A directive covers findings on its own line and on the following
+   line, so it can sit at the end of the offending line or on a line of
+   its own directly above it. The directive must fit on one source line;
+   the reason runs to the comment close (or end of line) and must be
+   non-empty — a missing reason is itself a finding (SUP), which can be
+   neither suppressed nor baselined. *)
+
+type directive = { line : int; rules : Rules.rule list; reason : string }
+
+(* The trigger is the full comment-open + tool-name + disable-key
+   sequence, so prose that merely mentions the tool never parses as a
+   directive. It is assembled by concatenation so the scanner cannot
+   match its own source. *)
+let marker = "(* lbclint:" ^ " disable="
+
+let find_sub ~start hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  if nn = 0 then None else go start
+
+let is_space c = c = ' ' || c = '\t'
+
+let skip_spaces s i =
+  let n = String.length s in
+  let rec go i = if i < n && is_space s.[i] then go (i + 1) else i in
+  go i
+
+let is_rule_char c =
+  (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+
+(* Parse the comma-separated rule list starting at [i]; returns the ids
+   (verbatim) and the position after the list. *)
+let parse_rule_ids s i =
+  let n = String.length s in
+  let rec take_id i acc =
+    if i < n && is_rule_char s.[i] then take_id (i + 1) (acc ^ String.make 1 s.[i])
+    else (acc, i)
+  in
+  let rec go i ids =
+    let id, j = take_id i "" in
+    let ids = if id = "" then ids else id :: ids in
+    let j = skip_spaces s j in
+    if j < n && s.[j] = ',' then go (skip_spaces s (j + 1)) ids
+    else (List.rev ids, j)
+  in
+  go i []
+
+let scan ~path text =
+  let lines = String.split_on_char '\n' text in
+  let parse_line lineno line (dirs, bad) =
+    match find_sub ~start:0 line marker with
+    | None -> (dirs, bad)
+    | Some at ->
+        let mk_bad message =
+          ( dirs,
+            { Rules.rule = Rules.Badsup; file = path; line = lineno; col = at;
+              message }
+            :: bad )
+        in
+        begin
+          let ids, j = parse_rule_ids line (at + String.length marker) in
+          let unknown = List.filter (fun s -> Rules.of_id s = None) ids in
+          let stop =
+            match find_sub ~start:j line "*)" with
+            | Some k -> k
+            | None -> String.length line
+          in
+          let reason = String.trim (String.sub line j (stop - j)) in
+          if ids = [] then mk_bad "lbclint directive names no rule"
+          else if unknown <> [] then
+            mk_bad
+              (Printf.sprintf "lbclint directive names unknown rule %s"
+                 (String.concat "," unknown))
+          else if reason = "" then
+            mk_bad
+              (Printf.sprintf
+                 "suppression of %s has no reason; a justification is \
+                  mandatory (disable=%s <why this is safe>)"
+                 (String.concat "," ids) (String.concat "," ids))
+          else
+            ( { line = lineno;
+                rules = List.filter_map Rules.of_id ids;
+                reason }
+              :: dirs,
+              bad )
+        end
+  in
+  let rec go lineno lines acc =
+    match lines with
+    | [] -> acc
+    | l :: rest -> go (lineno + 1) rest (parse_line lineno l acc)
+  in
+  let dirs, bad = go 1 lines ([], []) in
+  (List.rev dirs, List.rev bad)
+
+let covers dirs rule line =
+  List.exists
+    (fun d ->
+      (d.line = line || d.line = line - 1) && List.exists (fun r -> r = rule) d.rules)
+    dirs

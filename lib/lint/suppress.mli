@@ -1,0 +1,17 @@
+(** Inline suppression directives.
+
+    Syntax (one source line, inside a comment):
+    {v (* lbclint: disable=D2,D4 <mandatory reason> *) v}
+
+    A directive covers findings on its own line and on the immediately
+    following line. A directive with no reason, no rule, or an unknown
+    rule id yields a [Rules.Badsup] finding instead. *)
+
+type directive = { line : int; rules : Rules.rule list; reason : string }
+
+val scan : path:string -> string -> directive list * Rules.finding list
+(** [scan ~path text] returns the well-formed directives and the
+    [Badsup] findings for malformed ones, in source order. *)
+
+val covers : directive list -> Rules.rule -> int -> bool
+(** [covers dirs rule line]: is a finding of [rule] at [line] suppressed? *)

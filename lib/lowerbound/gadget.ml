@@ -70,7 +70,7 @@ let finish b ~g ~inputs ~expect_zero ~expect_one ~e2_faulty ~e2_replay
   let to_g = Array.of_list (List.rev b.gmap) in
   let hears = Array.make m [] in
   List.iter (fun (src, dst) -> hears.(src) <- dst :: hears.(src)) b.edges;
-  Array.iteri (fun i l -> hears.(i) <- List.sort_uniq compare l) hears;
+  Array.iteri (fun i l -> hears.(i) <- List.sort_uniq Int.compare l) hears;
   {
     g;
     m;

@@ -1,0 +1,21 @@
+(* Deterministic, monomorphic comparators for the sort calls that make
+   Hashtbl traversals observable-order-safe (lint rule D2). Polymorphic
+   [compare] is avoided (lint rule D4): these spell out exactly which
+   scalar fields order a record, so a later change to the element type
+   cannot silently start comparing closures or cyclic values. *)
+
+let rec compare_int_list a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: a', y :: b' ->
+      let c = Int.compare x y in
+      if c <> 0 then c else compare_int_list a' b'
+
+let compare_int_pair (a1, a2) (b1, b2) =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c else Int.compare a2 b2
+
+let by_fst_int (a, _) (b, _) = Int.compare a b
+let by_fst_int_list (a, _) (b, _) = compare_int_list a b

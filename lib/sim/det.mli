@@ -1,0 +1,20 @@
+(** Deterministic, monomorphic comparators.
+
+    Hashtbl iteration order is unspecified; any traversal whose result can
+    reach observable output (artifacts, wire messages, reports) must be
+    followed by a deterministic sort (lint rule D2). These comparators are
+    the sanctioned building blocks: total orders over scalars and scalar
+    lists, with no polymorphic [compare] involved (lint rule D4). *)
+
+val compare_int_list : int list -> int list -> int
+(** Lexicographic; shorter lists order first on a shared prefix. *)
+
+val compare_int_pair : int * int -> int * int -> int
+
+val by_fst_int : int * 'a -> int * 'b -> int
+(** Order pairs by their [int] first component only (use when the first
+    components are unique keys, e.g. rounds of a per-round tally). *)
+
+val by_fst_int_list : int list * 'a -> int list * 'b -> int
+(** Order pairs by their [int list] first component only (use when the
+    first components are unique keys, e.g. EIG labels). *)

@@ -16,7 +16,7 @@ let topology_of_graph g =
   }
 
 let topology_directed ~n ~out =
-  let tbl = Array.init n (fun u -> List.sort_uniq compare (out u)) in
+  let tbl = Array.init n (fun u -> List.sort_uniq Int.compare (out u)) in
   let sets = Array.map Lbc_graph.Nodeset.of_list tbl in
   {
     n;

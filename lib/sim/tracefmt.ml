@@ -33,4 +33,4 @@ let transmissions_by_round transcript =
         (1 + Option.value ~default:0 (Hashtbl.find_opt tbl round)))
     transcript;
   Hashtbl.fold (fun r c acc -> (r, c) :: acc) tbl []
-  |> List.sort compare
+  |> List.sort Det.compare_int_pair

@@ -1,0 +1,4 @@
+(* D4 and D5 are lib-only: the same constructs that fire in
+   lint_fixtures/lib are clean here. *)
+let registry = Hashtbl.create 16
+let sort_pairs l = List.sort compare l

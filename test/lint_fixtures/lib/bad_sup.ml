@@ -1,0 +1,4 @@
+(* A directive with no reason is itself a finding (SUP), never a
+   suppression. *)
+(* lbclint: disable=D2 *)
+let x = 1

@@ -1,0 +1,2 @@
+(* D1: wall-clock read; must use the monotonic Clock helper instead. *)
+let elapsed () = Unix.gettimeofday ()

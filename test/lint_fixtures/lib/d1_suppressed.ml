@@ -1,0 +1,4 @@
+(* The same violation as d1_clock.ml, silenced by an inline directive
+   with its mandatory reason. *)
+(* lbclint: disable=D1 fixture: proves a reasoned directive suppresses *)
+let elapsed () = Unix.gettimeofday ()

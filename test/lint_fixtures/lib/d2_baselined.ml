@@ -1,0 +1,3 @@
+(* Same violation as d2_fold.ml; fixtures.baseline grandfathers exactly
+   one D2 in this file. *)
+let items tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []

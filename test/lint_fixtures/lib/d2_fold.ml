@@ -1,0 +1,3 @@
+(* D2: a Hashtbl.fold whose result escapes without a deterministic
+   sort. *)
+let items tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []

@@ -1,0 +1,4 @@
+(* A fold piped straight into a sort is sanctioned: the Hashtbl order
+   cannot reach the caller. *)
+let cmp a b = Int.compare (fst a) (fst b)
+let items tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort cmp

@@ -1,0 +1,3 @@
+(* D3: ambient global Random state; seeded Random.State is the only
+   sanctioned source of randomness. *)
+let () = Random.self_init ()

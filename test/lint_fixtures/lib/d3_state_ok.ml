@@ -1,0 +1,4 @@
+(* Seeded Random.State is allowed: it is explicit and reproducible. *)
+let draw seed =
+  let st = Random.State.make [| seed |] in
+  Random.State.bool st

@@ -1,0 +1,2 @@
+(* D4: polymorphic compare in lib scope. *)
+let sort_pairs l = List.sort compare l

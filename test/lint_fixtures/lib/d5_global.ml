@@ -1,0 +1,3 @@
+(* D5: unguarded top-level mutable state, shared by every domain that
+   touches this module. *)
+let registry = Hashtbl.create 16

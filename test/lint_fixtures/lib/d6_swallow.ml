@@ -1,0 +1,3 @@
+(* D6: catch-all that swallows every exception, including
+   Fuel_exhausted and Stack_overflow. *)
+let safe f = try f () with _ -> ()

@@ -1,0 +1,2 @@
+(* Deliberately not OCaml: the engine must report PARSE and exit 2. *)
+let let = (
