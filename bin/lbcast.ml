@@ -27,6 +27,7 @@ module S = Lbc_adversary.Strategy
 module Gadget = Lbc_lowerbound.Gadget
 module Perturb = Lbc_sim.Perturb
 module Engine = Lbc_sim.Engine
+module Net = Lbc_net.Net
 
 (* ------------------------------------------------------------------ *)
 (* Parsers                                                              *)
@@ -188,6 +189,12 @@ let chaos_conv =
         | Error m -> Error (`Msg m)),
       Perturb.pp )
 
+let net_conv =
+  Cmdliner.Arg.conv
+    ( (fun s ->
+        match Net.parse s with Ok p -> Ok p | Error m -> Error (`Msg m)),
+      Net.pp )
+
 (* ------------------------------------------------------------------ *)
 (* check                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -241,7 +248,7 @@ let do_gen g dot =
 (* run                                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let do_run g algo f t inputs faulty equivocators strategy seed chaos
+let do_run g algo f t inputs faulty equivocators strategy seed chaos net
     max_rounds stats trace =
   let n = G.size g in
   let inputs =
@@ -286,14 +293,19 @@ let do_run g algo f t inputs faulty equivocators strategy seed chaos
       | None -> execute ()
       | Some spec -> Perturb.with_chaos spec ~seed execute
     in
+    let networked () =
+      match net with
+      | None -> (perturbed (), 0)
+      | Some p -> Net.with_net p ~seed perturbed
+    in
     match max_rounds with
-    | None -> perturbed ()
-    | Some budget -> Engine.with_fuel ~budget perturbed
+    | None -> networked ()
+    | Some budget -> Engine.with_fuel ~budget networked
   in
   (* Observability is opt-in: without --stats/--trace no recorder is
      installed and the instrumentation stays on its zero-cost path. *)
   let observe = stats || trace <> None in
-  let o, report =
+  let (o, sim_ns), report =
     try
       if observe then
         Lbc_obs.Obs.record ~trace:(trace <> None) execute
@@ -322,6 +334,11 @@ let do_run g algo f t inputs faulty equivocators strategy seed chaos
     (Spec.validity o);
   Printf.printf "cost     : %d phases, %d rounds, %d transmissions\n"
     o.Spec.phases o.Spec.rounds o.Spec.transmissions;
+  (match net with
+  | Some p when not (Net.is_ideal p) ->
+      Printf.printf "sim time : %.6f s (net profile %s)\n"
+        (Net.sim_time_s sim_ns) (Net.name p)
+  | Some _ | None -> ());
   if stats then begin
     Printf.printf "counters :\n";
     List.iter
@@ -509,7 +526,7 @@ let custom_grid spec f algo =
     ~strategies:S.kinds_lbc ~inputs:Campaign.Grid.unanimous_inputs ()
 
 let do_campaign exp gspec algo f quick domains seed shard_size out max_shards
-    chaos max_rounds strict =
+    chaos net max_rounds strict =
   let grid =
     match (exp, gspec) with
     | Some name, _ -> (
@@ -528,6 +545,11 @@ let do_campaign exp gspec algo f quick domains seed shard_size out max_shards
     match chaos with
     | None -> grid
     | Some spec -> Campaign.Grid.with_chaos spec grid
+  in
+  let grid =
+    match net with
+    | None -> grid
+    | Some p -> Campaign.Grid.with_net p grid
   in
   let out =
     match out with
@@ -644,6 +666,21 @@ let do_report path fingerprint stats =
             (Format.asprintf "%a" Campaign.Stats.pp
                artifact.Campaign.Artifact.stats)
         end;
+        (match Campaign.Artifact.sim_stats artifact with
+        | [] -> ()
+        | entries ->
+            Printf.printf "sim time   : per scenario family (simulated, from \
+                           the artifact's deterministic portion)\n";
+            Printf.printf "  %-28s %9s %12s %12s %12s\n" "family" "scenarios"
+              "p50 (s)" "p99 (s)" "max (s)";
+            List.iter
+              (fun (e : Campaign.Artifact.sim_entry) ->
+                Printf.printf "  %-28s %9d %12.6f %12.6f %12.6f\n"
+                  e.Campaign.Artifact.family e.Campaign.Artifact.scenarios
+                  (Net.sim_time_s e.Campaign.Artifact.p50_ns)
+                  (Net.sim_time_s e.Campaign.Artifact.p99_ns)
+                  (Net.sim_time_s e.Campaign.Artifact.max_ns))
+              entries);
         List.iter
           (fun (q : Campaign.Artifact.quarantined) ->
             Printf.printf "quarantined: shard %d: %s\n"
@@ -774,6 +811,19 @@ let run_cmd =
              crash-len (e.g. drop=0.1,delay=2,delay-p=0.25). Deterministic \
              given --seed; 'none' disables.")
   in
+  let net =
+    Arg.(
+      value
+      & opt (some net_conv) None
+      & info [ "net" ] ~docv:"PROFILE"
+          ~doc:
+            (Printf.sprintf
+               "Network latency profile (%s, or const:NS): every delivery is \
+                assigned a sampled link latency and the run reports its \
+                simulated wall-time alongside round counts. Deterministic \
+                given --seed; composes with --chaos."
+               (String.concat ", " Net.names)))
+  in
   let max_rounds =
     Arg.(
       value
@@ -805,7 +855,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Simulate a consensus algorithm under an adversary.")
     Term.(
       const do_run $ graph_arg $ algo $ f_arg $ t_arg $ inputs $ faulty
-      $ equivocators $ strategy $ seed $ chaos $ max_rounds $ stats $ trace)
+      $ equivocators $ strategy $ seed $ chaos $ net $ max_rounds $ stats
+      $ trace)
 
 let attack_cmd =
   let lemma =
@@ -966,6 +1017,18 @@ let campaign_cmd =
              spec. The determinism contract still holds: perturbation is \
              seeded per scenario.")
   in
+  let net =
+    Arg.(
+      value
+      & opt (some net_conv) None
+      & info [ "net" ] ~docv:"PROFILE"
+          ~doc:
+            "Install this network latency profile (see $(b,run --net)) on \
+             every scenario of the grid, overriding any per-scenario \
+             profile. Verdicts then carry per-scenario simulated wall-time \
+             and the artifact a per-family sim-time section — both in the \
+             deterministic portion.")
+  in
   let max_rounds =
     Arg.(
       value
@@ -993,7 +1056,7 @@ let campaign_cmd =
           resume, and write a versioned JSON results artifact.")
     Term.(
       const do_campaign $ exp $ gspec $ algo $ f_arg $ quick $ domains $ seed
-      $ shard_size $ out $ max_shards $ chaos $ max_rounds $ strict)
+      $ shard_size $ out $ max_shards $ chaos $ net $ max_rounds $ strict)
 
 let lint_cmd =
   let roots =

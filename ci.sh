@@ -1,7 +1,7 @@
 #!/bin/sh
 # CI entry point: build, run the full test suite, then smoke campaigns
 # exercising the lib/campaign subsystem end-to-end:
-#   - a 2-domain run over the 5-cycle E1 grid whose lbc-campaign/3
+#   - a 2-domain run over the 5-cycle E1 grid whose lbc-campaign/4
 #     artifact must parse, record zero violations and carry a stats
 #     section (`lbcast report` exits non-zero otherwise);
 #   - the same grid on 1 domain, whose fingerprint (the digest of the
@@ -15,8 +15,11 @@
 #     counts even under perturbation;
 #   - a perturbed single run whose --stats output must show perturb.*
 #     counters, and a --max-rounds exhaustion that must exit 4;
-#   - migration checks: legacy lbc-campaign/1 and /2 artifacts must be
-#     rejected with a clear version message, not misparsed.
+#   - an E15 smoke grid under the wan network profile with drop chaos:
+#     the lbc-campaign/4 artifact must carry a simulated-time section
+#     and fingerprint identically on 1 and 4 domains;
+#   - migration checks: legacy lbc-campaign/1, /2 and /3 artifacts must
+#     be rejected with a clear version message, not misparsed.
 set -eu
 
 cd "$(dirname "$0")"
@@ -123,15 +126,36 @@ cfp2=$(dune exec bin/lbcast.exe -- report --fingerprint "$tmp/chaos2.json")
   || { echo "FAIL: chaos fingerprint differs across domain counts"; exit 1; }
 echo "chaos fingerprint $cfp1 (1 vs 2 domains)"
 
+echo "== E15 network-profile smoke: sim section + domain-count fingerprint =="
+# A nontrivial latency profile plus drop chaos is the hardest case for
+# the determinism contract: per-link latencies and perturbation both key
+# off (round, sender, receiver), so the deterministic portion must stay
+# byte-identical however the shards are scheduled across domains.
+dune exec bin/lbcast.exe -- campaign --exp e15 --quick --domains 4 \
+  --net wan --chaos drop=0.01 --out "$tmp/e15_4.json"
+dune exec bin/lbcast.exe -- report "$tmp/e15_4.json" \
+  | tee "$tmp/e15_report.txt"
+grep -q 'sim time' "$tmp/e15_report.txt" \
+  || { echo "FAIL: E15 report has no simulated-time section"; exit 1; }
+grep -q 'net=wan' "$tmp/e15_report.txt" \
+  || { echo "FAIL: E15 sim families do not carry the net segment"; exit 1; }
+dune exec bin/lbcast.exe -- campaign --exp e15 --quick --domains 1 \
+  --net wan --chaos drop=0.01 --out "$tmp/e15_1.json"
+nfp1=$(dune exec bin/lbcast.exe -- report --fingerprint "$tmp/e15_1.json")
+nfp4=$(dune exec bin/lbcast.exe -- report --fingerprint "$tmp/e15_4.json")
+[ "$nfp1" = "$nfp4" ] \
+  || { echo "FAIL: net fingerprint differs across domain counts"; exit 1; }
+echo "net fingerprint $nfp1 (1 vs 4 domains)"
+
 echo "== legacy artifacts rejected =="
-for v in 1 2; do
+for v in 1 2 3; do
   printf '{"format":"lbc-campaign/%s","campaign":"old"}\n' "$v" \
     > "$tmp/old.json"
   if dune exec bin/lbcast.exe -- report "$tmp/old.json" 2> "$tmp/old.err"
   then
     echo "FAIL: lbc-campaign/$v artifact was accepted"; exit 1
   fi
-  grep -q 'lbc-campaign/3' "$tmp/old.err" \
+  grep -q 'lbc-campaign/4' "$tmp/old.err" \
     || { echo "FAIL: v$v rejection does not name the expected format";
          exit 1; }
   cat "$tmp/old.err"

@@ -20,12 +20,11 @@ type t = {
   run : run_info;
 }
 
-(* /3: verdicts carry a status (checked / timeout / crashed) and a new
-   top-level [quarantined] section lists shards whose execution failed
-   twice at the infrastructure level (their scenarios appear as crashed
-   verdicts). /1 and /2 artifacts are rejected by the format check in
-   [of_string]. *)
-let version = 3
+(* /4: verdicts carry a [sim_ns] simulated wall-time (the network
+   layer's clock; 0 without a profile) and a top-level [sim] section
+   aggregates per-family simulated-time percentiles. /1 .. /3 artifacts
+   are rejected by the format check in [of_string]. *)
+let version = 4
 let format_tag = Printf.sprintf "lbc-campaign/%d" version
 
 type summary = {
@@ -109,6 +108,77 @@ let pp_summary fmt s =
     s.timeouts s.quarantined_shards s.rounds_max s.transmissions_total
 
 (* ------------------------------------------------------------------ *)
+(* Simulated-time aggregation                                          *)
+(* ------------------------------------------------------------------ *)
+
+type sim_entry = {
+  family : string;
+  scenarios : int;
+  p50_ns : int;
+  p99_ns : int;
+  max_ns : int;
+}
+
+(* The scenario family: algorithm and graph segments of the id, plus the
+   [net=] segment when present — "a1|cycle:7|net=wan". This groups a
+   grid's cells by the axes that dominate simulated time while folding
+   fault placements, strategies and inputs together. *)
+let family_of_id id =
+  let segs = String.split_on_char '|' id in
+  let head =
+    match segs with a :: g :: _ -> [ a; g ] | short -> short
+  in
+  let net =
+    List.filter
+      (fun s -> String.length s > 4 && String.sub s 0 4 = "net=")
+      segs
+  in
+  String.concat "|" (head @ net)
+
+(* Nearest-rank percentile over a sorted array: the smallest value with
+   at least p% of the sample at or below it. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  let rank = (n * p) + 99 in
+  let idx = (rank / 100) - 1 in
+  sorted.(max 0 (min (n - 1) idx))
+
+let sim_stats t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun (v : Scenario.verdict) ->
+      match v.Scenario.status with
+      | Scenario.Checked ->
+          let fam = family_of_id v.Scenario.id in
+          let prev = try Hashtbl.find tbl fam with Not_found -> [] in
+          Hashtbl.replace tbl fam (v.Scenario.sim_ns :: prev)
+      | Scenario.Timed_out _ | Scenario.Crashed _ -> ())
+    t.verdicts;
+  List.sort
+    (fun a b -> String.compare a.family b.family)
+    (Hashtbl.fold
+       (fun family samples acc ->
+         let sorted = Array.of_list samples in
+         Array.sort Int.compare sorted;
+         let n = Array.length sorted in
+         let max_ns = sorted.(n - 1) in
+         (* Families that never accumulated simulated time are omitted:
+            a no-net (or ideal-profile) campaign serializes "sim": [],
+            keeping its bytes identical to the pre-net layout modulo the
+            version tag. *)
+         if max_ns = 0 then acc
+         else
+           {
+             family;
+             scenarios = n;
+             p50_ns = percentile sorted 50;
+             p99_ns = percentile sorted 99;
+             max_ns;
+           }
+           :: acc)
+       tbl [])
+
+(* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -135,6 +205,19 @@ let grid_fields t =
              Jsonio.Obj
                [ ("shard", Jsonio.Int q.shard); ("message", Jsonio.Str q.message) ])
            t.quarantined) );
+    ( "sim",
+      Jsonio.List
+        (List.map
+           (fun e ->
+             Jsonio.Obj
+               [
+                 ("family", Jsonio.Str e.family);
+                 ("scenarios", Jsonio.Int e.scenarios);
+                 ("p50_ns", Jsonio.Int e.p50_ns);
+                 ("p99_ns", Jsonio.Int e.p99_ns);
+                 ("max_ns", Jsonio.Int e.max_ns);
+               ])
+           (sim_stats t)) );
     ( "summary",
       let s = summarize t in
       Jsonio.Obj

@@ -75,6 +75,25 @@ type summary = {
 val summarize : t -> summary
 val pp_summary : Format.formatter -> summary -> unit
 
+type sim_entry = {
+  family : string;
+      (** algorithm and graph segments of the scenario id plus the
+          [net=] segment when present, e.g. ["a1|cycle:7|net=wan"] *)
+  scenarios : int;  (** checked verdicts in the family *)
+  p50_ns : int;  (** median simulated wall-time, ns (nearest-rank) *)
+  p99_ns : int;
+  max_ns : int;
+}
+
+val sim_stats : t -> sim_entry list
+(** Per-family simulated-time percentiles over checked verdicts, sorted
+    by family name. Families whose simulated time is identically zero
+    (no network profile, or the ideal one) are omitted — a latency-free
+    campaign has [sim_stats = []] and serializes a [sim] section of
+    [[]], keeping its deterministic bytes independent of the network
+    layer. Derived from [verdicts]; serialized in the deterministic
+    portion as the [sim] section. *)
+
 val to_string : t -> string
 (** Full JSON rendering, including the [run] section. *)
 

@@ -37,8 +37,8 @@ let fingerprint scenarios =
 (* Cartesian products                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let product ?(chaos = [ None ]) ~name ~graphs ~algos ~placements ~strategies
-    ~inputs () =
+let product ?(net = [ None ]) ?(chaos = [ None ]) ~name ~graphs ~algos
+    ~placements ~strategies ~inputs () =
   let scenarios =
     Seq.concat_map
       (fun (gname, f, build) ->
@@ -52,11 +52,14 @@ let product ?(chaos = [ None ]) ~name ~graphs ~algos ~placements ~strategies
                   (fun strategy ->
                     Seq.concat_map
                       (fun iv ->
-                        Seq.map
-                          (fun ch ->
-                            Scenario.make ~gname ~build ~algo ~f ~faulty
-                              ~strategy ~inputs:iv ?chaos:ch ())
-                          (List.to_seq chaos))
+                        Seq.concat_map
+                          (fun np ->
+                            Seq.map
+                              (fun ch ->
+                                Scenario.make ~gname ~build ~algo ~f ~faulty
+                                  ~strategy ~inputs:iv ?chaos:ch ?net:np ())
+                              (List.to_seq chaos))
+                          (List.to_seq net))
                       (List.to_seq (inputs g ~faulty)))
                   (List.to_seq strategies))
               (List.to_seq (placements g ~f)))
@@ -73,6 +76,15 @@ let with_chaos spec t =
   }
 
 let chaos_points specs = List.map Option.some specs
+
+let with_net profile t =
+  {
+    t with
+    scenarios =
+      Seq.map (fun s -> { s with Scenario.net = Some profile }) t.scenarios;
+  }
+
+let net_points profiles = List.map Option.some profiles
 
 (* ------------------------------------------------------------------ *)
 (* Axis helpers                                                        *)

@@ -36,6 +36,7 @@ val fingerprint : Scenario.t array -> string
 (** {1 Cartesian-product construction} *)
 
 val product :
+  ?net:Lbc_net.Net.profile option list ->
   ?chaos:Lbc_sim.Perturb.spec option list ->
   name:string ->
   graphs:(string * int * (unit -> Lbc_graph.Graph.t)) list ->
@@ -49,12 +50,13 @@ val product :
   unit ->
   t
 (** [product] enumerates graphs (each [(spec, f, build)]) × algorithms ×
-    fault placements × strategies × input vectors × chaos points, in
-    exactly that nesting order (chaos varies fastest, then inputs).
-    [chaos] defaults to [[None]] — one unperturbed point per cell, which
-    leaves the enumeration (and so every existing grid fingerprint)
-    unchanged. [placements] and [inputs] are evaluated against a graph
-    instance built once at enumeration time; executions build their own
+    fault placements × strategies × input vectors × net profiles × chaos
+    points, in exactly that nesting order (chaos varies fastest, then
+    net, then inputs). [chaos] and [net] default to [[None]] — one
+    perfect-synchrony, latency-free point per cell, which leaves the
+    enumeration (and so every existing grid fingerprint) unchanged.
+    [placements] and [inputs] are evaluated against a graph instance
+    built once at enumeration time; executions build their own
     instances. *)
 
 val with_chaos : Lbc_sim.Perturb.spec -> t -> t
@@ -64,6 +66,14 @@ val with_chaos : Lbc_sim.Perturb.spec -> t -> t
 val chaos_points : Lbc_sim.Perturb.spec list -> Lbc_sim.Perturb.spec option list
 (** Wrap specs for the [chaos] axis: [chaos_points [a; b]] sweeps [a]
     and [b]; prepend [None] yourself to keep an unperturbed point. *)
+
+val with_net : Lbc_net.Net.profile -> t -> t
+(** Install one network profile on every scenario of a grid (the
+    whole-grid analogue of the [net] axis) — the CLI's [--net] override. *)
+
+val net_points : Lbc_net.Net.profile list -> Lbc_net.Net.profile option list
+(** Wrap profiles for the [net] axis: [net_points [lan; wan]] sweeps
+    both; prepend [None] yourself to keep a latency-free point. *)
 
 (** {1 Axis helpers} *)
 

@@ -166,8 +166,39 @@ let chaos_smoke () =
   in
   Grid.append ~name:"chaos-smoke" [ perturbed; crashing; slow ]
 
+(* E15 — latency degradation study: A1 and A2 on a 7-cycle across the
+   named network profiles × packet-drop chaos, flipped-unanimous inputs.
+   [None] first on both axes keeps a latency-free, unperturbed baseline
+   point in every cell, so the table reads as "rounds stay put, simulated
+   tail latency moves". *)
+let e15 ?(quick = false) () =
+  let module N = Lbc_net.Net in
+  let profiles =
+    if quick then [ N.wan ] else [ N.lan; N.wan; N.satellite; N.heavy_tail ]
+  in
+  let chaos =
+    if quick then [ None; Some { P.zero with P.drop = 0.01 } ]
+    else
+      [
+        None;
+        Some { P.zero with P.drop = 0.01 };
+        Some { P.zero with P.drop = 0.05 };
+      ]
+  in
+  Grid.product ~name:"e15"
+    ~net:(None :: Grid.net_points profiles)
+    ~chaos
+    ~graphs:[ ("cycle:7", 1, fun () -> B.cycle 7) ]
+    ~algos:[ Scenario.A1; Scenario.A2 ]
+    ~placements:(fun _ ~f:_ -> [ Nodeset.singleton 3 ])
+    ~strategies:[ S.Flip_forwards ]
+    ~inputs:Grid.unanimous_inputs ()
+
 let names =
-  [ "e1"; "e1-unanimous"; "e2"; "e5"; "e8"; "edeg"; "chaos-smoke"; "smoke"; "n100" ]
+  [
+    "e1"; "e1-unanimous"; "e2"; "e5"; "e8"; "edeg"; "e15"; "chaos-smoke";
+    "smoke"; "n100";
+  ]
 
 let by_name ?(quick = false) = function
   | "e1" -> Some (e1 ~quick ())
@@ -176,6 +207,7 @@ let by_name ?(quick = false) = function
   | "e5" -> Some (e5 ?sizes:(if quick then Some [ 5; 9; 13 ] else None) ())
   | "e8" -> Some (e8 ~quick ())
   | "edeg" -> Some (edeg ())
+  | "e15" -> Some (e15 ~quick ())
   | "chaos-smoke" -> Some (chaos_smoke ())
   | "smoke" -> Some (smoke ())
   | "n100" -> Some (n100 ())

@@ -33,6 +33,14 @@ val edeg : unit -> Grid.t
     bounded delay, honest crash-restart), each cell also run unperturbed
     as a baseline — the data source for the bench chaos table. *)
 
+val e15 : ?quick:bool -> unit -> Grid.t
+(** E15 — latency degradation study: A1 and A2 on a 7-cycle across the
+    named network profiles (lan / wan / satellite / heavy-tail) × packet
+    drop (0 / 1% / 5%), flipped-unanimous inputs, each cell also run
+    latency-free and unperturbed as baselines — the data source for the
+    bench round-complexity vs simulated-tail-latency table. [quick]
+    restricts to the wan profile and drop ∈ {0, 1%}. *)
+
 val chaos_smoke : unit -> Grid.t
 (** Containment smoke for CI: perturbed consensus runs, a scenario that
     raises {!Lbc_sim.Engine.Model_violation} (Equivocate under local
@@ -51,7 +59,7 @@ val n100 : unit -> Grid.t
 
 val by_name : ?quick:bool -> string -> Grid.t option
 (** Look up ["e1"], ["e1-unanimous"], ["e2"], ["e5"], ["e8"], ["edeg"],
-    ["chaos-smoke"], ["smoke"] or ["n100"]. *)
+    ["e15"], ["chaos-smoke"], ["smoke"] or ["n100"]. *)
 
 val names : string list
 (** The accepted {!by_name} arguments, for help text. *)

@@ -192,6 +192,7 @@ let run ?(config = default) grid =
                   phases = 0;
                   transmissions = 0;
                   deliveries = 0;
+                  sim_ns = 0;
                   counterexample = None;
                 })
               scen

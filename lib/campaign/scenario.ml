@@ -5,6 +5,7 @@ module Spec = Lbc_consensus.Spec
 module S = Lbc_adversary.Strategy
 module Engine = Lbc_sim.Engine
 module Perturb = Lbc_sim.Perturb
+module Net = Lbc_net.Net
 
 type algo = A1 | A2 | A3 of int | Relay | Eig
 
@@ -25,11 +26,12 @@ type t = {
   strategy : S.kind;
   inputs : Bit.t array;
   chaos : Perturb.spec option;
+  net : Net.profile option;
 }
 
 let make ~gname ~build ~algo ~f ~faulty ?(equivocators = Nodeset.empty)
-    ~strategy ~inputs ?chaos () =
-  { gname; build; algo; f; faulty; equivocators; strategy; inputs; chaos }
+    ~strategy ~inputs ?chaos ?net () =
+  { gname; build; algo; f; faulty; equivocators; strategy; inputs; chaos; net }
 
 let ids_string s =
   if Nodeset.is_empty s then "-"
@@ -59,10 +61,19 @@ let id s =
     | None -> ""
     | Some _ -> Printf.sprintf "|chaos=%s" (chaos_string s.chaos)
   in
-  Printf.sprintf "%s|%s|f=%d%s|faulty=%s%s|s=%s|in=%s%s" (algo_name s.algo)
+  let net_part =
+    (* [None] keeps the pre-net spelling; so does the ideal profile,
+       which is observationally equivalent to no network layer — the
+       equivalence the net test suite checks byte-for-byte. *)
+    match s.net with
+    | Some p when not (Net.is_ideal p) ->
+        Printf.sprintf "|net=%s" (Net.name p)
+    | Some _ | None -> ""
+  in
+  Printf.sprintf "%s|%s|f=%d%s|faulty=%s%s|s=%s|in=%s%s%s" (algo_name s.algo)
     s.gname s.f t_part (ids_string s.faulty) eq_part
     (Format.asprintf "%a" S.pp_kind s.strategy)
-    (inputs_string s.inputs) chaos_part
+    (inputs_string s.inputs) chaos_part net_part
 
 (* FNV-1a over the id string: a deterministic, platform-stable hash (we
    avoid [Hashtbl.hash], whose value is not documented to be stable). The
@@ -97,6 +108,7 @@ type verdict = {
   phases : int;
   transmissions : int;
   deliveries : int;
+  sim_ns : int;
   counterexample : string option;
 }
 
@@ -132,9 +144,14 @@ let run_outcome s ~seed =
       Lbc_consensus.Baseline_eig.run ~n ~f:s.f ~inputs:s.inputs
         ~faulty:s.faulty ~attack ~seed ()
   in
-  match s.chaos with
-  | None -> go ()
-  | Some spec -> Perturb.with_chaos spec ~seed go
+  let perturbed () =
+    match s.chaos with
+    | None -> go ()
+    | Some spec -> Perturb.with_chaos spec ~seed go
+  in
+  match s.net with
+  | None -> (perturbed (), 0)
+  | Some p -> Net.with_net p ~seed perturbed
 
 let unanimous_honest s =
   let honest = ref [] in
@@ -181,6 +198,10 @@ let repro_command s ~seed =
       (match s.chaos with
       | None -> ""
       | Some _ -> Printf.sprintf "--chaos %s" (chaos_string s.chaos));
+      (match s.net with
+      | Some p when not (Net.is_ideal p) ->
+          Printf.sprintf "--net %s" (Net.name p)
+      | Some _ | None -> "");
       Printf.sprintf "--seed %d" seed;
     ]
   in
@@ -188,7 +209,7 @@ let repro_command s ~seed =
 
 let execute_strict ?(base_seed = 0) ?max_rounds ~index s =
   let seed = scenario_seed ~base:base_seed s in
-  let o =
+  let o, sim_ns =
     match max_rounds with
     | None -> run_outcome s ~seed
     | Some budget -> Engine.with_fuel ~budget (fun () -> run_outcome s ~seed)
@@ -243,6 +264,7 @@ let execute_strict ?(base_seed = 0) ?max_rounds ~index s =
     phases = o.Spec.phases;
     transmissions = o.Spec.transmissions;
     deliveries = o.Spec.deliveries;
+    sim_ns;
     counterexample;
   }
 
@@ -261,6 +283,7 @@ let failed_verdict ~index s status =
     phases = 0;
     transmissions = 0;
     deliveries = 0;
+    sim_ns = 0;
     counterexample = None;
   }
 
@@ -368,6 +391,7 @@ let verdict_to_json v =
       ("phases", Jsonio.Int v.phases);
       ("tx", Jsonio.Int v.transmissions);
       ("rx", Jsonio.Int v.deliveries);
+      ("sim_ns", Jsonio.Int v.sim_ns);
     ]
   in
   let cx =
@@ -420,6 +444,12 @@ let verdict_of_json j =
     let* phases = field "phases" Jsonio.to_int in
     let* transmissions = field "tx" Jsonio.to_int in
     let* deliveries = field "rx" Jsonio.to_int in
+    let sim_ns =
+      (* Absent in pre-v4 verdicts; default keeps old fixtures parseable
+         in unit tests even though the artifact loader rejects them. *)
+      Option.value ~default:0
+        (Option.bind (Jsonio.member "sim_ns" j) Jsonio.to_int)
+    in
     let counterexample =
       Option.bind (Jsonio.member "counterexample" j) Jsonio.to_str
     in
@@ -438,6 +468,7 @@ let verdict_of_json j =
         phases;
         transmissions;
         deliveries;
+        sim_ns;
         counterexample;
       }
   in

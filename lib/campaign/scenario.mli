@@ -36,6 +36,11 @@ type t = {
       (** environment perturbation installed around the execution
           ({!Lbc_sim.Perturb.with_chaos} with the scenario seed);
           [None] runs the perfect-synchrony model *)
+  net : Lbc_net.Net.profile option;
+      (** latency model installed around the execution
+          ({!Lbc_net.Net.with_net} with the scenario seed); [None] — and
+          equivalently the {!Lbc_net.Net.ideal} profile — reports zero
+          simulated time and leaves the artifact bytes untouched *)
 }
 
 val make :
@@ -48,6 +53,7 @@ val make :
   strategy:Lbc_adversary.Strategy.kind ->
   inputs:Lbc_consensus.Bit.t array ->
   ?chaos:Lbc_sim.Perturb.spec ->
+  ?net:Lbc_net.Net.profile ->
   unit ->
   t
 
@@ -57,11 +63,14 @@ val id : t -> string
     runs and independent of position in any grid. Scenarios with a chaos
     spec append a [|chaos=...] segment (canonical {!Lbc_sim.Perturb.to_string}
     spelling); [chaos = None] keeps the historical spelling, so existing
-    grid fingerprints are unchanged. *)
+    grid fingerprints are unchanged. Scenarios with a non-ideal network
+    profile likewise append a [|net=NAME] segment; [net = None] and the
+    ideal profile both keep the historical spelling. *)
 
 val repro_command : t -> seed:int -> string
 (** The [lbcast run] command line reproducing this scenario (including
-    its [--chaos] spec) with the given seed. *)
+    its [--chaos] spec and non-ideal [--net] profile) with the given
+    seed. *)
 
 val scenario_seed : base:int -> t -> int
 (** The per-scenario RNG seed: a deterministic (FNV-1a) hash of {!id}
@@ -100,6 +109,10 @@ type verdict = {
   phases : int;
   transmissions : int;
   deliveries : int;
+  sim_ns : int;
+      (** simulated wall-time of the execution under the scenario's
+          network profile, ns ({!Lbc_net.Net.with_net}); 0 without a
+          profile, under the ideal profile, and on failure verdicts *)
   counterexample : string option;
       (** on failure: per-node outputs plus a [lbcast run] reproduction
           command line *)

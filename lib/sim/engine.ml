@@ -87,16 +87,22 @@ let consume_fuel n =
 (* Plain path: perfect synchronous delivery                            *)
 (* ------------------------------------------------------------------ *)
 
-let run_plain ~record topo ~model ~rounds ~roles =
+let run_plain ~record ~net topo ~model ~rounds ~roles =
   let transmissions = ref 0 in
   let deliveries = ref 0 in
   let transcript = ref [] in
+  let net_deliver ~round u v =
+    match net with
+    | None -> ()
+    | Some nc -> Lbc_net.Net.on_delivery nc ~round ~sender:u ~receiver:v
+  in
   (* inboxes.(v) accumulates (sender, msg) for the next round, in reverse
      arrival order; arrival order is (sender asc, emission order), which we
      obtain by iterating senders in ascending id order each round. *)
   let inboxes = Array.make topo.n [] in
   for round = 0 to rounds - 1 do
     consume_fuel 1;
+    (match net with None -> () | Some nc -> Lbc_net.Net.begin_round nc);
     let tx0 = !transmissions and rx0 = !deliveries in
     let incoming = Array.map List.rev inboxes in
     Array.fill inboxes 0 topo.n [];
@@ -115,6 +121,7 @@ let run_plain ~record topo ~model ~rounds ~roles =
               List.iter
                 (fun v ->
                   incr deliveries;
+                  net_deliver ~round u v;
                   inboxes.(v) <- (u, m) :: inboxes.(v))
                 (topo.hears u)
           | Unicast (v, m) ->
@@ -134,9 +141,11 @@ let run_plain ~record topo ~model ~rounds ~roles =
                      (Printf.sprintf "node %d unicast to non-neighbour %d" u v))
               end;
               incr deliveries;
+              net_deliver ~round u v;
               inboxes.(v) <- (u, m) :: inboxes.(v))
         out
     done;
+    (match net with None -> () | Some nc -> Lbc_net.Net.end_round nc ~round);
     if Lbc_obs.Obs.tracing () then
       Lbc_obs.Obs.emit
         {
@@ -173,7 +182,7 @@ let run_plain ~record topo ~model ~rounds ~roles =
    inbox order — and therefore the whole execution — deterministic;
    with a zero-rate spec every offset is 0 and the order (and every
    stat, counter and transcript entry) coincides with the plain path. *)
-let run_chaos ~record ~ctx topo ~model ~rounds ~roles =
+let run_chaos ~record ~ctx ~net topo ~model ~rounds ~roles =
   let spec = Perturb.spec ctx in
   let horizon = spec.Perturb.delay + 2 in
   let future = Array.init horizon (fun _ -> Array.make topo.n []) in
@@ -186,6 +195,7 @@ let run_chaos ~record ~ctx topo ~model ~rounds ~roles =
   let transcript = ref [] in
   for round = 0 to rounds - 1 do
     consume_fuel 1;
+    (match net with None -> () | Some nc -> Lbc_net.Net.begin_round nc);
     let tx0 = !transmissions and rx0 = !deliveries in
     let slot = round mod horizon in
     let incoming = Array.map List.rev future.(slot) in
@@ -220,6 +230,13 @@ let run_chaos ~record ~ctx topo ~model ~rounds ~roles =
                   if i > 0 then Lbc_obs.Obs.incr "perturb.duplicated";
                   if k > 0 then Lbc_obs.Obs.incr "perturb.delayed";
                   incr deliveries;
+                  (* The physical transmission happens now, so the link
+                     latency is charged to the send round even when the
+                     perturb layer re-delivers the copy late. *)
+                  (match net with
+                  | None -> ()
+                  | Some nc ->
+                      Lbc_net.Net.on_delivery nc ~round ~sender:u ~receiver:v);
                   let target = round + 1 + k in
                   if k > 0 && target >= rounds then
                     Lbc_obs.Obs.incr "perturb.expired";
@@ -257,6 +274,7 @@ let run_chaos ~record ~ctx topo ~model ~rounds ~roles =
           out
       end
     done;
+    (match net with None -> () | Some nc -> Lbc_net.Net.end_round nc ~round);
     if Lbc_obs.Obs.tracing () then
       Lbc_obs.Obs.emit
         {
@@ -284,6 +302,7 @@ let run_chaos ~record ~ctx topo ~model ~rounds ~roles =
 let run ?(record = false) topo ~model ~rounds ~roles =
   if Array.length roles <> topo.n then
     invalid_arg "Engine.run: roles length must equal topology size";
+  let net = Lbc_net.Net.current () in
   match Perturb.current () with
-  | None -> run_plain ~record topo ~model ~rounds ~roles
-  | Some ctx -> run_chaos ~record ~ctx topo ~model ~rounds ~roles
+  | None -> run_plain ~record ~net topo ~model ~rounds ~roles
+  | Some ctx -> run_chaos ~record ~ctx ~net topo ~model ~rounds ~roles

@@ -106,6 +106,16 @@ val run :
     [perturb.delayed] / [perturb.expired] / [perturb.crashes] /
     [perturb.crash_rounds].
 
+    When a {!Lbc_net.Net} context is installed ({!Lbc_net.Net.with_net}),
+    every delivery is additionally assigned a sampled link latency and
+    each round's duration (its slowest completion) advances the
+    simulated clock — orthogonally to chaos, on both code paths. An
+    ideal (all-zero) profile records nothing and is observationally
+    identical to running without the layer; non-ideal profiles record
+    the [net.link_ns] / [net.round_ns] histograms. A perturb-delayed
+    copy is charged its latency at the send round; a dropped copy is
+    never charged.
+
     Every run consumes one unit of {e fuel} per round when a budget is
     installed with {!with_fuel}.
 

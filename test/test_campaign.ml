@@ -622,8 +622,8 @@ let test_old_artifacts_rejected () =
       | Ok _ -> Alcotest.failf "%s artifact must be rejected" old
       | Error msg ->
           check ("error names " ^ old ^ " and the expected version") true
-            (contains old msg && contains "lbc-campaign/3" msg))
-    [ "lbc-campaign/1"; "lbc-campaign/2" ]
+            (contains old msg && contains "lbc-campaign/4" msg))
+    [ "lbc-campaign/1"; "lbc-campaign/2"; "lbc-campaign/3" ]
 
 let test_quarantined_section_roundtrip () =
   let a = C.Runner.run_exn ~config:(config ()) (small_grid ()) in
@@ -648,6 +648,47 @@ let test_quarantined_section_roundtrip () =
   check "quarantine is part of the deterministic portion" true
     (C.Artifact.deterministic_string a
     <> C.Artifact.deterministic_string { a with C.Artifact.quarantined = [] })
+
+let test_sim_stats_percentiles () =
+  let a = C.Runner.run_exn ~config:(config ()) (small_grid ()) in
+  (* latency-free campaigns expose no sim section at all *)
+  check "no sim entries without a network profile" true
+    (C.Artifact.sim_stats a = []);
+  let fam_id = "a1|cycle:5" in
+  let in_family (v : Scenario.verdict) =
+    String.length v.Scenario.id >= String.length fam_id
+    && String.sub v.Scenario.id 0 (String.length fam_id) = fam_id
+  in
+  let k =
+    Array.fold_left
+      (fun acc v -> if in_family v then acc + 1 else acc)
+      0 a.C.Artifact.verdicts
+  in
+  check "family large enough for a mostly-zero median" true (k >= 8);
+  (* charge exactly four members of one family: 10, 20, 30, 40 ns *)
+  let charged = ref 0 in
+  let verdicts =
+    Array.map
+      (fun (v : Scenario.verdict) ->
+        if in_family v && !charged < 4 then (
+          incr charged;
+          { v with Scenario.sim_ns = !charged * 10 })
+        else v)
+      a.C.Artifact.verdicts
+  in
+  match C.Artifact.sim_stats { a with C.Artifact.verdicts } with
+  | [ e ] ->
+      check_str "only the charged family appears" fam_id
+        e.C.Artifact.family;
+      check_int "entry counts every checked scenario of the family" k
+        e.C.Artifact.scenarios;
+      (* sorted samples are k-4 zeros then 10 20 30 40: the nearest-rank
+         median lands in the zeros, the p99 on the last sample *)
+      check_int "p50 of a mostly-zero family" 0 e.C.Artifact.p50_ns;
+      check_int "p99 picks the tail sample" 40 e.C.Artifact.p99_ns;
+      check_int "max" 40 e.C.Artifact.max_ns
+  | entries ->
+      Alcotest.failf "expected one sim entry, got %d" (List.length entries)
 
 (* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
@@ -814,6 +855,8 @@ let () =
             test_old_artifacts_rejected;
           Alcotest.test_case "quarantined section roundtrip" `Quick
             test_quarantined_section_roundtrip;
+          Alcotest.test_case "sim stats percentiles" `Quick
+            test_sim_stats_percentiles;
         ] );
       ( "containment",
         [
