@@ -4,9 +4,9 @@
    Figure 1 (graphs meeting the tight condition), Figures 2-5 / Table 1
    (the necessity gadgets), and the quantitative claims in the text
    (round complexity, phase counts, threshold trade-offs). This harness
-   regenerates each of them as an experiment E1-E15 (see DESIGN.md and
+   regenerates each of them as an experiment E1-E16 (see DESIGN.md and
    EXPERIMENTS.md), then times the core operations with Bechamel
-   (B1-B6), and writes a machine-readable BENCH_6.json (per-experiment
+   (B1-B6), and writes a machine-readable BENCH_7.json (per-experiment
    wall-clock + key obs counters) next to the human tables.
 
    The exhaustive sweeps (E1, E2, E5, E8) are expressed as declarative
@@ -58,12 +58,12 @@ module Campaign = Lbc_campaign
 module Net = Lbc_net.Net
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable results (BENCH_6.json)                             *)
+(* Machine-readable results (BENCH_7.json)                             *)
 (* ------------------------------------------------------------------ *)
 
 (* Alongside the human tables, the harness records each experiment's
    wall-clock and the key obs counters its campaigns accumulated, and
-   writes them as BENCH_6.json — a small, diffable trend signal for the
+   writes them as BENCH_7.json — a small, diffable trend signal for the
    instrumented hot paths (bench/ is not lib/, so top-level refs are
    fine here). *)
 let tracked_counters =
@@ -985,6 +985,51 @@ let bechamel_benches () =
       Printf.printf "  %-44s %16s\n" name pretty)
     rows
 
+(* E16: self-measurement — how long the whole-program lint pass takes
+   on the repo's own build tree. The deep pass is a CI gate, so its
+   cost is part of the contributor loop; tracking units/findings keeps
+   the trend visible as the tree grows. Needs the .cmt files a prior
+   `dune build @check` leaves behind; without them the experiment
+   reports 0 units and moves on rather than failing the harness. *)
+let lint_deep () =
+  header "E16" "lbclint --deep: whole-program pass over the build tree";
+  let module Deep = Lbc_lint.Deep in
+  let module Rules = Lbc_lint.Rules in
+  let t0 = Campaign.Clock.now_s () in
+  let r =
+    Deep.run
+      ~skip_components:[ "lint_fixtures"; "deep_fixtures" ]
+      ~build_dirs:[ "_build/default" ] ~source_root:"." ()
+  in
+  let wall = Campaign.Clock.now_s () -. t0 in
+  if r.Deep.units = 0 then
+    Printf.printf
+      "  no .cmt annotations found (run `dune build @check` first); skipped\n"
+  else begin
+    let count rule =
+      List.length
+        (List.filter (fun (f : Rules.finding) -> f.Rules.rule = rule) r.Deep.kept)
+    in
+    Printf.printf "  %-28s %8s\n" "metric" "value";
+    Printf.printf "  %-28s %8d\n" "units analyzed" r.Deep.units;
+    Printf.printf "  %-28s %8d\n" "load errors" (List.length r.Deep.errors);
+    List.iter
+      (fun rule ->
+        Printf.printf "  %-28s %8d\n"
+          ("findings " ^ Rules.id rule)
+          (count rule))
+      [ Rules.E1; Rules.E2; Rules.M1; Rules.X1 ];
+    Printf.printf "  %-28s %8d\n" "suppressed"
+      (List.length r.Deep.suppressed);
+    Printf.printf "  %-28s %7.0fms\n" "wall" (wall *. 1e3);
+    current_counters :=
+      [
+        ("lint.units", r.Deep.units);
+        ("lint.findings", List.length r.Deep.kept);
+        ("lint.suppressed", List.length r.Deep.suppressed);
+      ]
+  end
+
 let () =
   Printf.printf
     "lbcast experiment harness -- Khan, Naqvi, Vaidya (PODC 2019) \
@@ -1007,6 +1052,7 @@ let () =
   timed "e13" e13;
   timed "e14" e14;
   timed "e15" e15;
+  timed "lint_deep" lint_deep;
   timed "bechamel" bechamel_benches;
-  write_bench_json "BENCH_6.json";
+  write_bench_json "BENCH_7.json";
   Printf.printf "\nAll experiments complete.\n"

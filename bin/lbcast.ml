@@ -705,9 +705,9 @@ let do_report path fingerprint stats =
 (* lint                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let do_lint roots baseline write_baseline json =
+let do_lint roots baseline write_baseline json deep =
   Lbc_lint.Driver.main
-    { Lbc_lint.Driver.roots; baseline; write_baseline; json }
+    { Lbc_lint.Driver.roots; baseline; write_baseline; json; deep }
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                                *)
@@ -1063,14 +1063,18 @@ let lint_cmd =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"PATH"
-          ~doc:"Files or directories to lint (default: lib bin bench test).")
+          ~doc:
+            "Files or directories to lint (default: lib bin bench test \
+             examples).")
   in
   let baseline =
     Arg.(
       value
       & opt (some string) None
       & info [ "baseline" ] ~docv:"FILE"
-          ~doc:"Baseline of grandfathered findings (only D2/D4/D5).")
+          ~doc:
+            "Baseline of grandfathered findings (D2/D4/D5 and the deep \
+             rules).")
   in
   let write_baseline =
     Arg.(
@@ -1081,18 +1085,29 @@ let lint_cmd =
   let json =
     Arg.(
       value & flag
-      & info [ "json" ] ~doc:"Emit a machine-readable lbclint/1 JSON report.")
+      & info [ "json" ] ~doc:"Emit a machine-readable lbclint/2 JSON report.")
+  in
+  let deep =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Also run the whole-program typed-AST pass (E1 nondeterminism \
+             taint, E2 cross-domain mutable state, M1 local-broadcast \
+             model invariant, advisory X1 dead exports); requires a prior \
+             $(b,dune build).")
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Static determinism & domain-safety analysis (rules D1-D6): no \
-          wall clocks, no unordered Hashtbl traversal reaching output, no \
-          ambient Random state, no polymorphic compare in lib/, no \
-          unguarded top-level mutable state, no exception-swallowing \
-          catch-alls. Exits 0 clean / 1 findings / 2 config or parse \
-          error.")
-    Term.(const do_lint $ roots $ baseline $ write_baseline $ json)
+         "Static determinism & domain-safety analysis (rules D1-D6, deep \
+          rules E1/E2/M1/X1): no wall clocks, no unordered Hashtbl \
+          traversal reaching output, no ambient Random state, no \
+          polymorphic compare in lib/, no unguarded top-level mutable \
+          state, no exception-swallowing catch-alls, no per-receiver \
+          payloads outside the adversary. Exits 0 clean / 1 findings / 2 \
+          config or parse error.")
+    Term.(const do_lint $ roots $ baseline $ write_baseline $ json $ deep)
 
 let report_cmd =
   let path =

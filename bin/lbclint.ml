@@ -1,25 +1,27 @@
 (* lbclint: determinism & domain-safety analyzer for this repository.
 
    Walks every .ml/.mli under the given roots (default: lib bin bench
-   test), enforces rules D1-D6 (see lib/lint/rules.mli), honours inline
-   suppressions and the checked-in baseline, and exits 0 (clean),
-   1 (findings) or 2 (configuration/parse error). Also available as
-   `lbcast lint`. *)
+   test examples), enforces rules D1-D6 (see lib/lint/rules.mli),
+   honours inline suppressions and the checked-in baseline, and exits
+   0 (clean), 1 (findings) or 2 (configuration/parse error). With
+   --deep it additionally loads the .cmt/.cmti typed ASTs dune emitted
+   under _build/default and runs the whole-program rules E1/E2/M1
+   (gating) and X1 (advisory). Also available as `lbcast lint`. *)
 
 open Cmdliner
 
-let do_lint roots baseline write_baseline json =
+let do_lint roots baseline write_baseline json deep =
   Lbc_lint.Driver.main
-    { Lbc_lint.Driver.roots; baseline; write_baseline; json }
+    { Lbc_lint.Driver.roots; baseline; write_baseline; json; deep }
 
 let roots_arg =
   Arg.(
     value & pos_all string []
     & info [] ~docv:"PATH"
         ~doc:
-          "Files or directories to lint (default: lib bin bench test). \
-           Directories named _build, .git and lint_fixtures are skipped \
-           during recursion.")
+          "Files or directories to lint (default: lib bin bench test \
+           examples). Directories named _build, .git, lint_fixtures and \
+           deep_fixtures are skipped during recursion.")
 
 let baseline_arg =
   Arg.(
@@ -28,7 +30,8 @@ let baseline_arg =
     & info [ "baseline" ] ~docv:"FILE"
         ~doc:
           "Checked-in baseline of grandfathered findings (RULE FILE COUNT \
-           per line; only rules D2/D4/D5 are baselinable).")
+           per line; rules D2/D4/D5 and the deep rules E1/E2/M1/X1 are \
+           baselinable).")
 
 let write_baseline_arg =
   Arg.(
@@ -44,16 +47,30 @@ let json_arg =
     value & flag
     & info [ "json" ]
         ~doc:
-          "Emit a machine-readable lbclint/1 JSON report instead of \
+          "Emit a machine-readable lbclint/2 JSON report instead of \
            human-readable lines.")
+
+let deep_arg =
+  Arg.(
+    value & flag
+    & info [ "deep" ]
+        ~doc:
+          "Also run the whole-program pass over the typed ASTs under \
+           _build/default (requires a prior $(b,dune build)): E1 \
+           nondeterminism taint into verdict/artifact/fingerprint paths, \
+           E2 unguarded cross-domain mutable state, M1 the \
+           local-broadcast model invariant (no Engine.Unicast outside \
+           lib/adversary and lib/lowerbound), and the advisory X1 \
+           dead-export report.")
 
 let cmd =
   Cmd.v
     (Cmd.info "lbclint" ~version:"1.0.0"
        ~doc:
-         "Static determinism & domain-safety analyzer (rules D1-D6) for \
-          the lbcast repository.")
+         "Static determinism & domain-safety analyzer (rules D1-D6, deep \
+          rules E1/E2/M1/X1) for the lbcast repository.")
     Term.(
-      const do_lint $ roots_arg $ baseline_arg $ write_baseline_arg $ json_arg)
+      const do_lint $ roots_arg $ baseline_arg $ write_baseline_arg $ json_arg
+      $ deep_arg)
 
 let () = exit (Cmd.eval' cmd)

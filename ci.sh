@@ -39,9 +39,25 @@ echo "== lbclint gate =="
 # artifacts. Reason-less suppressions are SUP findings and always fail.
 dune build @lint
 dune exec bin/lbclint.exe -- --json --baseline lint-baseline \
-  lib bin bench test | tee "$tmp/lint.json"
+  lib bin bench test examples | tee "$tmp/lint.json"
 grep -q '"exit":0' "$tmp/lint.json" \
   || { echo "FAIL: lbclint reported findings"; exit 1; }
+
+echo "== lbclint --deep gate =="
+# Whole-program pass over the .cmt/.cmti typed ASTs: E1 nondeterminism
+# taint into verdict/artifact/fingerprint paths, E2 unguarded
+# cross-domain mutable state, M1 the local-broadcast model invariant
+# (no Engine.Unicast outside lib/adversary and lib/lowerbound), plus
+# the advisory X1 dead-export report. @check materializes the
+# executables' .cmt files, which a plain `dune build` does not.
+# The gate runs against an EMPTY baseline: every gating deep finding on
+# the repo tip is either fixed or carries an inline reasoned
+# suppression. X1 findings are advisory and do not affect the exit.
+dune build @check
+dune exec bin/lbclint.exe -- --deep --json --baseline lint-baseline \
+  lib bin bench test examples | tee "$tmp/lint_deep.json"
+grep -q '"exit":0' "$tmp/lint_deep.json" \
+  || { echo "FAIL: lbclint --deep reported gating findings"; exit 1; }
 
 echo "== smoke campaign (2 domains) =="
 

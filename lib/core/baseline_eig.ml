@@ -90,6 +90,7 @@ let faulty_step ~n ~f ~me ~input ~attack ~seed : msg Engine.fstep =
                 if v = me then None
                 else
                   Some
+                    (* lbclint: disable=M1 this IS the classical point-to-point EIG baseline, run under Engine.Point_to_point to exhibit the equivocation local broadcast forbids *)
                     (Engine.Unicast
                        ( v,
                          List.map

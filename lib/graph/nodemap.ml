@@ -1,4 +1,1 @@
 include Map.Make (Int)
-
-let keys m = fold (fun k _ acc -> Nodeset.add k acc) m Nodeset.empty
-let find_or default k m = match find_opt k m with Some v -> v | None -> default

@@ -1,10 +1,3 @@
 (** Maps keyed by node identifiers. *)
 
 include module type of Map.Make (Int)
-
-val keys : 'a t -> Nodeset.t
-(** [keys m] is the set of keys bound in [m]. *)
-
-val find_or : 'a -> int -> 'a t -> 'a
-(** [find_or default k m] is the binding of [k] in [m], or [default] when [k]
-    is unbound. *)

@@ -1,0 +1,552 @@
+(* Whole-program call graph over typed ASTs.
+
+   One walk per compilation unit collects, for every top-level value
+   binding (including bindings inside nested structures):
+
+   - the internal values it references, each tagged with whether the
+     reference sits under a lambda (so it executes after module
+     initialisation), inside a [Domain.spawn] argument, and inside a
+     sanctioned guard ([Mutex.protect] / [Domain.DLS.get]/[set]);
+   - the nondeterministic primitives it touches directly (the D1/D2/D3
+     source set, with the same sort-sanctioning as the per-file pass);
+   - the [Engine.Unicast] constructions it performs;
+   - whether it calls [Domain.spawn], and which internal functions it
+     passes as functional arguments to other internal calls (the
+     one-level closure-escape approximation used by the E2 pass).
+
+   Reference resolution bridges dune's module mangling: a use appears in
+   the typedtree as [Lbc_campaign.Clock.now_s] (the wrapped-alias path)
+   while the defining unit is named [Lbc_campaign__Clock]; both spellings
+   normalise to the same key. Local module aliases
+   ([module C = Lbc_campaign.Clock]) are expanded one level. References
+   that resolve to nothing we know (parameters, let-locals, functor
+   internals) are dropped — the analysis under-approximates through
+   higher-order flow and says so in its rule descriptions. *)
+
+type use = {
+  target : string;  (* canonical key, e.g. "Lbc_campaign__Clock.now_s" *)
+  uline : int;
+  ucol : int;
+  guarded : bool;
+  in_function : bool;
+  in_spawn : bool;
+}
+
+type def = {
+  key : string;
+  unit_name : string;
+  name : string;
+  file : string;
+  line : int;
+  col : int;
+  uses : use list;  (* in source order *)
+  prims : (Rules.rule * string * int) list;  (* family, primitive, line *)
+  unicasts : (int * int) list;  (* line, col of Engine.Unicast builds *)
+  spawns : bool;
+  mutable_top : bool;
+  arrow_arg_calls : string list;
+      (* internal callees that received a function-typed argument *)
+}
+
+type t = {
+  defs : (string, def) Hashtbl.t;
+  order : string list;  (* def keys, deterministic *)
+  units : Cmt_load.unit_info list;
+  functor_arg_units : (string, unit) Hashtbl.t;
+}
+
+let find t key = Hashtbl.find_opt t.defs key
+let defs_in_order t = List.filter_map (Hashtbl.find_opt t.defs) t.order
+
+(* ------------------------------------------------------------------ *)
+(* Path utilities                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec path_components (p : Path.t) =
+  match p with
+  | Path.Pident id -> [ Ident.name id ]
+  | Path.Pdot (p, s) -> path_components p @ [ s ]
+  | _ -> []
+
+let path_head (p : Path.t) =
+  match p with
+  | Path.Pident id -> Some id
+  | _ -> (
+      let rec head = function
+        | Path.Pident id -> Some id
+        | Path.Pdot (p, _) -> head p
+        | _ -> None
+      in
+      head p)
+
+(* Canonical key of a fully-qualified reference. [unit_names] lets
+   [A.B.x] (wrapped-alias spelling) fold onto unit [A__B]; anything else
+   keeps its first component as the "unit", which for non-loaded
+   libraries (Stdlib, Unix) yields stable external names like
+   ["Stdlib.Hashtbl.iter"]. *)
+let canonical ~unit_names comps =
+  match comps with
+  | [] | [ _ ] -> None
+  | u :: rest ->
+      let contains_sep s =
+        let n = String.length s in
+        let rec go i = i + 2 <= n && (String.sub s i 2 = "__" || go (i + 1)) in
+        go 0
+      in
+      let unit_, name =
+        if contains_sep u then (u, rest)
+        else
+          match rest with
+          | m :: tail when tail <> [] && Hashtbl.mem unit_names (u ^ "__" ^ m)
+            ->
+              (u ^ "__" ^ m, tail)
+          | _ -> (u, rest)
+      in
+      Some (unit_ ^ "." ^ String.concat "." name)
+
+(* ------------------------------------------------------------------ *)
+(* Primitive classification (the deep D1/D2/D3 source set)             *)
+(* ------------------------------------------------------------------ *)
+
+let classify_prim ~sorted key =
+  match String.split_on_char '.' key with
+  | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ] | [ "Stdlib"; "Sys"; "time" ]
+    ->
+      Some (Rules.D1, key)
+  | [ "Stdlib"; "Hashtbl"; "iter" ] -> Some (Rules.D2, key)
+  | [ "Stdlib"; "Hashtbl"; "fold" ] when not sorted -> Some (Rules.D2, key)
+  | "Stdlib" :: "Random" :: f :: _ when f <> "State" -> Some (Rules.D3, key)
+  | _ -> None
+
+let guard_heads =
+  [ "Stdlib.Mutex.protect"; "Stdlib.Domain.DLS.get"; "Stdlib.Domain.DLS.set" ]
+
+let spawn_head = "Stdlib.Domain.spawn"
+
+let mutable_creators =
+  [
+    "Stdlib.ref";
+    "Stdlib.Hashtbl.create";
+    "Stdlib.Buffer.create";
+    "Stdlib.Queue.create";
+    "Stdlib.Stack.create";
+  ]
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false else String.sub hay i nn = needle || go (i + 1)
+  in
+  go 0
+
+let is_sortish comps =
+  match List.rev comps with
+  | name :: _ -> contains_sub (String.lowercase_ascii name) "sort"
+  | [] -> false
+
+let rec is_arrow (ty : Types.type_expr) =
+  match Types.get_desc ty with
+  | Types.Tarrow _ -> true
+  | Types.Tlink ty | Types.Tsubst (ty, _) -> is_arrow ty
+  | Types.Tpoly (ty, _) -> is_arrow ty
+  | _ -> false
+
+(* Is this constructor the per-receiver delivery of the engine? Keyed on
+   the constructor name and its result type's name, so the rule follows
+   the concept rather than one module path. *)
+let is_unicast (cd : Types.constructor_description) =
+  cd.Types.cstr_name = "Unicast"
+  &&
+  match Types.get_desc cd.Types.cstr_res with
+  | Types.Tconstr (p, _, _) -> (
+      match List.rev (path_components p) with
+      | t :: _ -> t = "delivery"
+      | [] -> false)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: register definitions                                        *)
+(* ------------------------------------------------------------------ *)
+
+type pending = {
+  p_key : string;
+  p_name : string;
+  p_loc : Location.t;
+  p_expr : Typedtree.expression option;  (* None for externals *)
+  p_mutable : bool;
+}
+
+(* [iter_general_pattern] applies [f] to the node itself and recurses
+   on its own — hand it a shallow action. *)
+let binding_idents (pat : Typedtree.pattern) =
+  let acc = ref [] in
+  let f : type k. k Typedtree.general_pattern -> unit =
+   fun p ->
+    match p.Typedtree.pat_desc with
+    | Typedtree.Tpat_var (id, name) -> acc := (id, name.Location.txt) :: !acc
+    | Typedtree.Tpat_alias (_, id, name) ->
+        acc := (id, name.Location.txt) :: !acc
+    | _ -> ()
+  in
+  Typedtree.iter_general_pattern { f } pat;
+  List.rev !acc
+
+let is_mutable_rhs ~unit_names (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_apply (f, _) -> (
+      match f.Typedtree.exp_desc with
+      | Typedtree.Texp_ident (p, _, _) -> (
+          match canonical ~unit_names (path_components p) with
+          | Some key -> List.mem key mutable_creators
+          | None -> false)
+      | _ -> false)
+  | Typedtree.Texp_record { fields; _ } ->
+      Array.exists
+        (fun ((lbl : Types.label_description), _) ->
+          lbl.Types.lbl_mut = Asttypes.Mutable)
+        fields
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Build                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type unit_ctx = {
+  idents : (string, string) Hashtbl.t;  (* Ident.unique_name -> def key *)
+  aliases : (string, string list) Hashtbl.t;
+      (* local module alias -> path components *)
+}
+
+let build (units : Cmt_load.unit_info list) =
+  let unit_names = Hashtbl.create 64 in
+  List.iter
+    (fun (u : Cmt_load.unit_info) -> Hashtbl.replace unit_names u.unit_name ())
+    units;
+  let functor_arg_units = Hashtbl.create 8 in
+  let note_functor_arg comps =
+    match canonical ~unit_names (comps @ [ "_" ]) with
+    | Some key -> (
+        match String.index_opt key '.' with
+        | Some i -> Hashtbl.replace functor_arg_units (String.sub key 0 i) ()
+        | None -> ())
+    | None -> ()
+  in
+  (* Pass 1: collect pending defs, ident tables and module aliases. *)
+  let pendings : (Cmt_load.unit_info * unit_ctx * pending list) list =
+    List.map
+      (fun (u : Cmt_load.unit_info) ->
+        let uctx =
+          { idents = Hashtbl.create 32; aliases = Hashtbl.create 8 }
+        in
+        let pending = ref [] in
+        let add_pending ~prefix name loc expr mut =
+          let qname = if prefix = "" then name else prefix ^ "." ^ name in
+          let key = u.unit_name ^ "." ^ qname in
+          pending :=
+            {
+              p_key = key;
+              p_name = qname;
+              p_loc = loc;
+              p_expr = expr;
+              p_mutable = mut;
+            }
+            :: !pending;
+          key
+        in
+        let add_def ~prefix id name loc expr mut =
+          let key = add_pending ~prefix name loc expr mut in
+          Hashtbl.replace uctx.idents (Ident.unique_name id) key
+        in
+        (* [let () = ...] and [;;]-style toplevel effects bind nothing
+           but still call into the program (an executable's entry point
+           is exactly this shape); give them synthetic defs so their
+           references feed reachability and export liveness. *)
+        let add_init ~prefix (loc : Location.t) expr =
+          let line = loc.Location.loc_start.Lexing.pos_lnum in
+          ignore
+            (add_pending ~prefix
+               (Printf.sprintf "(init:%d)" line)
+               loc (Some expr) false)
+        in
+        let rec structure ~prefix (str : Typedtree.structure) =
+          List.iter (structure_item ~prefix) str.Typedtree.str_items
+        and structure_item ~prefix (si : Typedtree.structure_item) =
+          match si.Typedtree.str_desc with
+          | Typedtree.Tstr_value (_, vbs) ->
+              List.iter
+                (fun (vb : Typedtree.value_binding) ->
+                  let mut = is_mutable_rhs ~unit_names vb.Typedtree.vb_expr in
+                  match binding_idents vb.Typedtree.vb_pat with
+                  | [] ->
+                      add_init ~prefix vb.Typedtree.vb_loc vb.Typedtree.vb_expr
+                  | ids ->
+                      List.iter
+                        (fun (id, name) ->
+                          add_def ~prefix id name vb.Typedtree.vb_loc
+                            (Some vb.Typedtree.vb_expr) mut)
+                        ids)
+                vbs
+          | Typedtree.Tstr_eval (e, _) ->
+              add_init ~prefix si.Typedtree.str_loc e
+          | Typedtree.Tstr_primitive vd ->
+              add_def ~prefix vd.Typedtree.val_id
+                (Ident.name vd.Typedtree.val_id)
+                vd.Typedtree.val_loc None false
+          | Typedtree.Tstr_module mb -> module_binding ~prefix mb
+          | Typedtree.Tstr_recmodule mbs ->
+              List.iter (module_binding ~prefix) mbs
+          | _ -> ()
+        and module_binding ~prefix (mb : Typedtree.module_binding) =
+          let name =
+            match mb.Typedtree.mb_name.Location.txt with
+            | Some n -> n
+            | None -> "_"
+          in
+          let sub = if prefix = "" then name else prefix ^ "." ^ name in
+          module_expr ~prefix:sub ~alias_id:mb.Typedtree.mb_id
+            mb.Typedtree.mb_expr
+        and module_expr ~prefix ~alias_id (me : Typedtree.module_expr) =
+          match me.Typedtree.mod_desc with
+          | Typedtree.Tmod_structure str -> structure ~prefix str
+          | Typedtree.Tmod_constraint (me, _, _, _) ->
+              module_expr ~prefix ~alias_id me
+          | Typedtree.Tmod_ident (p, _) -> (
+              match alias_id with
+              | Some id ->
+                  Hashtbl.replace uctx.aliases (Ident.unique_name id)
+                    (path_components p)
+              | None -> ())
+          | Typedtree.Tmod_apply (f, arg, _) ->
+              (match arg.Typedtree.mod_desc with
+              | Typedtree.Tmod_ident (p, _) ->
+                  note_functor_arg (path_components p)
+              | _ -> ());
+              module_expr ~prefix ~alias_id:None f
+          | _ -> ()
+        in
+        (match u.structure with
+        | Some str -> structure ~prefix:"" str
+        | None -> ());
+        (u, uctx, List.rev !pending))
+      units
+  in
+  (* Pass 2: walk each pending definition's body. *)
+  let defs = Hashtbl.create 256 in
+  let order = ref [] in
+  List.iter
+    (fun ((u : Cmt_load.unit_info), uctx, pending) ->
+      let file = Option.value ~default:"" u.impl_source in
+      let resolve (p : Path.t) =
+        match path_head p with
+        | None -> None
+        | Some head ->
+            if Ident.global head then
+              canonical ~unit_names (path_components p)
+            else (
+              match
+                Hashtbl.find_opt uctx.aliases (Ident.unique_name head)
+              with
+              | Some alias_comps -> (
+                  match path_components p with
+                  | _ :: rest ->
+                      canonical ~unit_names (alias_comps @ rest)
+                  | [] -> None)
+              | None -> Hashtbl.find_opt uctx.idents (Ident.unique_name head))
+      in
+      List.iter
+        (fun p ->
+          let uses = ref [] in
+          let prims = ref [] in
+          let unicasts = ref [] in
+          let spawns = ref false in
+          let arrow_args = ref [] in
+          let sorted = ref 0 in
+          let guard = ref 0 in
+          let lambda = ref 0 in
+          let spawn_depth = ref 0 in
+          let record_ref key (loc : Location.t) =
+            let pos = loc.Location.loc_start in
+            let line = pos.Lexing.pos_lnum in
+            let col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol in
+            (* internal iff some unit defines it: decided by the
+               consumer via [find]; we record everything that resolved. *)
+            uses :=
+              {
+                target = key;
+                uline = line;
+                ucol = col;
+                guarded = !guard > 0;
+                in_function = !lambda > 0;
+                in_spawn = !spawn_depth > 0;
+              }
+              :: !uses;
+            match classify_prim ~sorted:(!sorted > 0) key with
+            | Some (rule, prim) -> prims := (rule, prim, line) :: !prims
+            | None -> ()
+          in
+          let rec head_comps (e : Typedtree.expression) =
+            match e.Typedtree.exp_desc with
+            | Typedtree.Texp_ident (p, _, _) -> path_components p
+            | Typedtree.Texp_apply (f, _) -> head_comps f
+            | _ -> []
+          in
+          let head_key (e : Typedtree.expression) =
+            match e.Typedtree.exp_desc with
+            | Typedtree.Texp_ident (p, _, _) -> resolve p
+            | _ -> None
+          in
+          let default = Tast_iterator.default_iterator in
+          let expr it (e : Typedtree.expression) =
+            match e.Typedtree.exp_desc with
+            | Typedtree.Texp_ident (p, _, _) -> (
+                match resolve p with
+                | Some key -> record_ref key e.Typedtree.exp_loc
+                | None -> ())
+            | Typedtree.Texp_function _ ->
+                incr lambda;
+                default.Tast_iterator.expr it e;
+                decr lambda
+            | Typedtree.Texp_construct (_, cd, _) ->
+                (if is_unicast cd then
+                   let pos = e.Typedtree.exp_loc.Location.loc_start in
+                   unicasts :=
+                     ( pos.Lexing.pos_lnum,
+                       pos.Lexing.pos_cnum - pos.Lexing.pos_bol )
+                     :: !unicasts);
+                default.Tast_iterator.expr it e
+            | Typedtree.Texp_apply (f, args) ->
+                (match f.Typedtree.exp_desc with
+                | Typedtree.Texp_ident (p, _, _) -> (
+                    match resolve p with
+                    | Some key -> record_ref key f.Typedtree.exp_loc
+                    | None -> ())
+                | _ -> it.Tast_iterator.expr it f);
+                let hkey = head_key f in
+                let hcomps = head_comps f in
+                let is_guard_call =
+                  match hkey with
+                  | Some k -> List.mem k guard_heads
+                  | None -> false
+                in
+                let is_spawn_call = hkey = Some spawn_head in
+                if is_spawn_call then spawns := true;
+                (* A functional argument handed to an internal callee may
+                   run wherever that callee runs: remember the callee for
+                   the closure-escape fixpoint. *)
+                (match hkey with
+                | Some k when (not (List.mem k guard_heads)) && k <> spawn_head
+                  ->
+                    if
+                      List.exists
+                        (fun (_, a) ->
+                          match a with
+                          | Some (a : Typedtree.expression) ->
+                              is_arrow a.Typedtree.exp_type
+                          | None -> false)
+                        args
+                    then arrow_args := k :: !arrow_args
+                | _ -> ());
+                let sortish_call = is_sortish hcomps in
+                let sanctioned =
+                  match (hcomps, args) with
+                  | ( ([ "Stdlib"; "|>" ] | [ "|>" ]),
+                      [ (_, Some lhs); (_, Some rhs) ] )
+                    when is_sortish (head_comps rhs) ->
+                      [ lhs ]
+                  | ( ([ "Stdlib"; "@@" ] | [ "@@" ]),
+                      [ (_, Some lhs); (_, Some rhs) ] )
+                    when is_sortish (head_comps lhs) ->
+                      [ rhs ]
+                  | _ -> []
+                in
+                List.iter
+                  (fun (_, a) ->
+                    match a with
+                    | None -> ()
+                    | Some a ->
+                        let sanction =
+                          sortish_call || List.memq a sanctioned
+                        in
+                        if sanction then incr sorted;
+                        if is_guard_call then incr guard;
+                        if is_spawn_call then incr spawn_depth;
+                        it.Tast_iterator.expr it a;
+                        if is_spawn_call then decr spawn_depth;
+                        if is_guard_call then decr guard;
+                        if sanction then decr sorted)
+                  args
+            | _ -> default.Tast_iterator.expr it e
+          in
+          let it = { default with Tast_iterator.expr } in
+          (match p.p_expr with
+          | Some e -> it.Tast_iterator.expr it e
+          | None -> ());
+          let pos = p.p_loc.Location.loc_start in
+          let d =
+            {
+              key = p.p_key;
+              unit_name = u.unit_name;
+              name = p.p_name;
+              file;
+              line = pos.Lexing.pos_lnum;
+              col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+              uses = List.rev !uses;
+              prims = List.rev !prims;
+              unicasts = List.rev !unicasts;
+              spawns = !spawns;
+              mutable_top = p.p_mutable;
+              arrow_arg_calls = List.rev !arrow_args;
+            }
+          in
+          if not (Hashtbl.mem defs p.p_key) then begin
+            Hashtbl.replace defs p.p_key d;
+            order := p.p_key :: !order
+          end)
+        pending)
+    pendings;
+  { defs; order = List.rev !order; units; functor_arg_units }
+
+(* ------------------------------------------------------------------ *)
+(* Reachability                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let reachable t ~roots =
+  let parent : (string, string option) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  List.iter
+    (fun r ->
+      if Hashtbl.mem t.defs r && not (Hashtbl.mem parent r) then begin
+        Hashtbl.replace parent r None;
+        Queue.add r queue
+      end)
+    roots;
+  while not (Queue.is_empty queue) do
+    let k = Queue.take queue in
+    match Hashtbl.find_opt t.defs k with
+    | None -> ()
+    | Some d ->
+        List.iter
+          (fun u ->
+            if Hashtbl.mem t.defs u.target && not (Hashtbl.mem parent u.target)
+            then begin
+              Hashtbl.replace parent u.target (Some k);
+              Queue.add u.target queue
+            end)
+          d.uses
+  done;
+  parent
+
+let chain parent key =
+  let rec go acc key =
+    match Hashtbl.find_opt parent key with
+    | Some (Some p) -> go (key :: acc) p
+    | Some None -> key :: acc
+    | None -> key :: acc
+  in
+  go [] key
+
+let short_name t key =
+  match find t key with Some d -> d.name | None -> key
+
+let pp_chain t keys =
+  String.concat " -> " (List.map (short_name t) keys)

@@ -1,0 +1,66 @@
+(** Resolved cross-module call graph over loaded typed ASTs.
+
+    Each top-level value binding becomes a {!def} keyed
+    ["Unit__Name.value"]; its body is walked once, recording every
+    resolved reference together with the lexical context the deep rules
+    care about (inside a lambda, inside a [Domain.spawn] argument, under
+    a [Mutex.protect]/[Domain.DLS] guard), plus direct hits on the
+    D1/D2/D3 primitive set and [Engine.Unicast] constructions.
+
+    Resolution is an under-approximation: references through function
+    parameters, first-class modules or functor internals are dropped.
+    The one-level closure-escape list ({!field:def.arrow_arg_calls})
+    lets the E2 pass stay honest about higher-order flow. *)
+
+type use = {
+  target : string;  (** canonical key, e.g. ["Lbc_campaign__Clock.now_s"] *)
+  uline : int;
+  ucol : int;
+  guarded : bool;  (** under [Mutex.protect] / [Domain.DLS.get]/[set] *)
+  in_function : bool;  (** under a lambda: runs after module init *)
+  in_spawn : bool;  (** inside a [Domain.spawn] argument *)
+}
+
+type def = {
+  key : string;
+  unit_name : string;
+  name : string;  (** qualified within the unit, e.g. ["Sub.helper"] *)
+  file : string;  (** build-root-relative source path *)
+  line : int;
+  col : int;
+  uses : use list;  (** in source order *)
+  prims : (Rules.rule * string * int) list;
+      (** direct D1/D2/D3 primitive hits: family, primitive, line *)
+  unicasts : (int * int) list;  (** line, col of [Engine.Unicast] builds *)
+  spawns : bool;  (** calls [Domain.spawn] directly *)
+  mutable_top : bool;
+      (** the binding itself creates top-level mutable state *)
+  arrow_arg_calls : string list;
+      (** internal callees that received a function-typed argument *)
+}
+
+type t = {
+  defs : (string, def) Hashtbl.t;
+  order : string list;  (** def keys, deterministic source order *)
+  units : Cmt_load.unit_info list;
+  functor_arg_units : (string, unit) Hashtbl.t;
+      (** units applied as functor arguments (exempt from X1) *)
+}
+
+val build : Cmt_load.unit_info list -> t
+
+val find : t -> string -> def option
+val defs_in_order : t -> def list
+
+val reachable : t -> roots:string list -> (string, string option) Hashtbl.t
+(** Forward BFS over [uses] from [roots]; the result maps each reached
+    key to its BFS parent ([None] for a root), for {!chain}. *)
+
+val chain : (string, string option) Hashtbl.t -> string -> string list
+(** Root-to-key path through the BFS parents. *)
+
+val pp_chain : t -> string list -> string
+(** Render a chain as ["a -> b -> c"] using short names. *)
+
+val contains_sub : string -> string -> bool
+(** [contains_sub hay needle] — shared by the rule passes. *)

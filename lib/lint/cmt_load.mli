@@ -1,0 +1,27 @@
+(** Discovery and loading of dune-produced [.cmt]/[.cmti] typed ASTs.
+
+    The deep pass runs over binary annotations rather than re-typing
+    sources: dune already emits them for every compilation unit (the
+    [-bin-annot] flag is always on), so a plain [dune build] is the only
+    prerequisite. *)
+
+type unit_info = {
+  unit_name : string;
+      (** compilation unit name as dune mangles it, e.g.
+          ["Lbc_campaign__Runner"], or ["Dune__exe__Lbcast"] for an
+          executable *)
+  impl_source : string option;
+      (** source path relative to the build root, e.g.
+          ["lib/campaign/runner.ml"] *)
+  intf_source : string option;
+  structure : Typedtree.structure option;  (** from the [.cmt] *)
+  signature : Typedtree.signature option;  (** from the [.cmti] *)
+}
+
+val load :
+  ?skip_components:string list -> string list -> unit_info list * string list
+(** [load dirs] recursively scans [dirs] for [.cmt]/[.cmti] files and
+    returns the loaded units sorted by unit name, plus the load errors
+    (unreadable directory, corrupt annotation file). Dune's generated
+    library-alias units ([.ml-gen] sources) are dropped, as is any unit
+    whose source path contains a component of [skip_components]. *)

@@ -1,0 +1,60 @@
+(* The --deep pass: load typed ASTs, build the call graph, run the
+   whole-program rules, apply inline suppressions.
+
+   Two suppression moments, deliberately distinct:
+
+   - taint seeds are cut where the *primitive's own* line carries a
+     matching D1/D2/D3 directive — a justified nondeterminism site must
+     not re-fire as E1 through every transitive caller;
+   - finding-site suppression is applied here, uniformly, with the deep
+     rule's own id ([disable=E2 ...] on or above the flagged line), so
+     each pass stays purely analytical.
+
+   File paths in deep findings are build-root-relative (that is what
+   [Cmt_format.cmt_sourcefile] records); [source_root] maps them back to
+   readable sources for the directive scan. A source that cannot be
+   read simply has no directives — the conservative direction. *)
+
+type result = {
+  kept : Rules.finding list;
+  suppressed : Rules.finding list;
+  errors : string list;  (* cmt load failures: exit-code-2 material *)
+  units : int;
+}
+
+let run ?(skip_components = []) ~build_dirs ~source_root () =
+  let units, errors = Cmt_load.load ~skip_components build_dirs in
+  let g = Callgraph.build units in
+  let directive_cache : (string, Suppress.directive list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let directives file =
+    match Hashtbl.find_opt directive_cache file with
+    | Some dirs -> dirs
+    | None ->
+        let path = Filename.concat source_root file in
+        let dirs =
+          match In_channel.with_open_bin path In_channel.input_all with
+          | exception Sys_error _ -> []
+          | text -> fst (Suppress.scan ~path text)
+        in
+        Hashtbl.replace directive_cache file dirs;
+        dirs
+  in
+  let suppressed_at file rule line = Suppress.covers (directives file) rule line in
+  let findings =
+    Taint.run g ~suppressed_at @ Domsafe.run g @ Model.run g
+    @ Deadexport.run g
+  in
+  let suppressed, kept =
+    List.partition
+      (fun (f : Rules.finding) ->
+        suppressed_at f.Rules.file f.Rules.rule f.Rules.line)
+      findings
+  in
+  {
+    kept = List.sort Rules.compare_finding kept;
+    suppressed = List.sort Rules.compare_finding suppressed;
+    errors;
+    units = List.length units;
+  }

@@ -1,0 +1,87 @@
+(* E2 — cross-domain mutable state.
+
+   The per-file D5 rule flags top-level mutable creation syntactically;
+   this pass asks the sharper question: is the mutable cell actually
+   touched by code that can run on more than one domain at once, and is
+   the touch guarded?
+
+   Roots of the concurrent region R:
+   - every definition that calls [Domain.spawn] directly, and
+   - every definition referenced from inside a spawn argument (that
+     reference is the closure the new domain runs).
+
+   R is closed forward over resolved calls, plus a closure-escape rule:
+   a definition joins R if it passes a function-typed argument to a
+   member of R — the classic worker-pool shape ([Pool.submit pool job])
+   hands the pool a closure that executes on a worker domain, and the
+   resolved graph alone cannot see through the [exec] parameter. This
+   over-approximates (R tends toward "everything the pool can run",
+   which is the honest answer for this repo) and under-approximates only
+   through data-structure-stored closures.
+
+   A finding is an unguarded reference, from inside a function body of
+   an R member in lib scope, to a definition that creates top-level
+   mutable state. Module-initialisation references (lambda depth zero)
+   run once before any domain exists and are exempt; references under
+   [Mutex.protect] or [Domain.DLS.get]/[set] are guarded. *)
+
+let lib_scope file = List.mem "lib" (String.split_on_char '/' file)
+
+let concurrent_region (g : Callgraph.t) =
+  let roots = ref [] in
+  List.iter
+    (fun (d : Callgraph.def) ->
+      if d.spawns then roots := d.key :: !roots;
+      List.iter
+        (fun (u : Callgraph.use) ->
+          if u.in_spawn then roots := u.target :: !roots)
+        d.uses)
+    (Callgraph.defs_in_order g);
+  let parent = Callgraph.reachable g ~roots:(List.rev !roots) in
+  let in_r k = Hashtbl.mem parent k in
+  (* closure-escape fixpoint: callers handing closures to R join R *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (d : Callgraph.def) ->
+        if (not (in_r d.key)) && List.exists in_r d.arrow_arg_calls then begin
+          Hashtbl.replace parent d.key None;
+          changed := true;
+          (* pull in the new member's callees too *)
+          let sub = Callgraph.reachable g ~roots:[ d.key ] in
+          Hashtbl.fold (fun k p acc -> (k, p) :: acc) sub []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+          |> List.iter (fun (k, p) ->
+                 if not (Hashtbl.mem parent k) then Hashtbl.replace parent k p)
+        end)
+      (Callgraph.defs_in_order g)
+  done;
+  parent
+
+let run (g : Callgraph.t) =
+  let region = concurrent_region g in
+  List.concat_map
+    (fun (d : Callgraph.def) ->
+      if not (Hashtbl.mem region d.key && lib_scope d.file) then []
+      else
+        List.filter_map
+          (fun (u : Callgraph.use) ->
+            match Callgraph.find g u.target with
+            | Some target
+              when target.mutable_top && u.in_function && not u.guarded ->
+                Some
+                  {
+                    Rules.rule = Rules.E2;
+                    file = d.file;
+                    line = u.uline;
+                    col = u.ucol;
+                    message =
+                      Printf.sprintf
+                        "%s runs on a spawned domain and touches top-level \
+                         mutable %s without Mutex.protect/Domain.DLS"
+                        d.name target.Callgraph.name;
+                  }
+            | _ -> None)
+          d.uses)
+    (Callgraph.defs_in_order g)

@@ -1,0 +1,12 @@
+(** E2 — cross-domain mutable state.
+
+    Flags unguarded, in-function references to top-level mutable
+    definitions from code in the spawn-reachable region (closure-escape
+    over-approximated: passing a function argument to a region member
+    joins the region). Lib scope only. *)
+
+val concurrent_region : Callgraph.t -> (string, string option) Hashtbl.t
+(** Exposed for the driver's tests: the def keys that may execute on a
+    spawned domain. *)
+
+val run : Callgraph.t -> Rules.finding list

@@ -10,11 +10,12 @@
    The walk is deterministic: directory entries are sorted, and the
    final finding list is sorted by (file, line, col, rule). *)
 
-let default_roots = [ "lib"; "bin"; "bench"; "test" ]
+let default_roots = [ "lib"; "bin"; "bench"; "test"; "examples" ]
 
-(* [lint_fixtures] holds deliberately-bad snippets for the linter's own
-   test suite; descending into it would fail the repo gate by design. *)
-let skip_dirs = [ "_build"; ".git"; "lint_fixtures" ]
+(* [lint_fixtures] and [deep_fixtures] hold deliberately-bad snippets
+   for the linter's own test suite; descending into them would fail the
+   repo gate by design. *)
+let skip_dirs = [ "_build"; ".git"; "lint_fixtures"; "deep_fixtures" ]
 
 let is_source name =
   Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
@@ -66,7 +67,23 @@ let lint_file path =
       in
       (List.sort Rules.compare_finding (badsup @ kept), suppressed, None)
 
-let analyze ?(baseline = Baseline.empty) ~roots () =
+(* Deep findings carry build-root-relative paths; when linting from the
+   repo root these coincide with the shallow walk's paths, so one root
+   filter serves both. An empty [roots] list (only reachable by calling
+   [analyze] directly — [main] substitutes the defaults first) means "no
+   filter", which is the hook the fixture tests use. *)
+let under_roots roots (f : Rules.finding) =
+  roots = []
+  || List.exists
+       (fun r ->
+         f.Rules.file = r
+         || String.length f.Rules.file > String.length r
+            && String.sub f.Rules.file 0 (String.length r + 1) = r ^ "/")
+       roots
+
+let analyze ?(baseline = Baseline.empty) ?(deep = false)
+    ?(deep_build_dirs = [ "_build/default" ]) ?(deep_source_root = ".")
+    ~roots () =
   let files, errors = walk roots in
   let kept, suppressed, errors =
     List.fold_left
@@ -74,6 +91,19 @@ let analyze ?(baseline = Baseline.empty) ~roots () =
         let k, s, err = lint_file path in
         (k @ kept, s @ sup, match err with Some m -> m :: errs | None -> errs))
       ([], [], errors) files
+  in
+  let kept, suppressed, errors =
+    if not deep then (kept, suppressed, errors)
+    else begin
+      let r =
+        Deep.run
+          ~skip_components:[ "lint_fixtures"; "deep_fixtures" ]
+          ~build_dirs:deep_build_dirs ~source_root:deep_source_root ()
+      in
+      ( List.filter (under_roots roots) r.Deep.kept @ kept,
+        List.filter (under_roots roots) r.Deep.suppressed @ suppressed,
+        errors @ r.Deep.errors )
+    end
   in
   let kept = List.sort Rules.compare_finding kept in
   let actionable, baselined, stale = Baseline.apply baseline kept in
@@ -91,7 +121,9 @@ let has_parse_error o =
 
 let exit_code o =
   if o.errors <> [] || has_parse_error o then 2
-  else if o.actionable <> [] then 1
+  else if
+    List.exists (fun (f : Rules.finding) -> Rules.gating f.Rules.rule) o.actionable
+  then 1
   else 0
 
 (* ------------------------------------------------------------------ *)
@@ -160,7 +192,7 @@ let render_json fmt o =
       (json_escape file) n
   in
   Format.fprintf fmt
-    "{\"format\":\"lbclint/1\",\"files\":%d,\"findings\":[%s],\"suppressed\":%d,\"baselined\":%d,\"stale_baseline\":[%s],\"errors\":[%s],\"exit\":%d}@."
+    "{\"format\":\"lbclint/2\",\"files\":%d,\"findings\":[%s],\"suppressed\":%d,\"baselined\":%d,\"stale\":[%s],\"errors\":[%s],\"exit\":%d}@."
     o.files
     (String.concat "," (List.map finding_json o.actionable))
     (List.length o.suppressed) (List.length o.baselined)
@@ -178,6 +210,7 @@ type config = {
   baseline : string option;
   write_baseline : bool;
   json : bool;
+  deep : bool;
 }
 
 let main ?(fmt = Format.std_formatter) config =
@@ -193,7 +226,7 @@ let main ?(fmt = Format.std_formatter) config =
       2
   | Ok baseline ->
       if config.write_baseline then begin
-        let o = analyze ~roots () in
+        let o = analyze ~deep:config.deep ~roots () in
         let entries, rejected = Baseline.of_findings o.actionable in
         match config.baseline with
         | None ->
@@ -213,7 +246,7 @@ let main ?(fmt = Format.std_formatter) config =
             if rejected <> [] || o.errors <> [] then 1 else 0
       end
       else begin
-        let o = analyze ~baseline ~roots () in
+        let o = analyze ~baseline ~deep:config.deep ~roots () in
         if config.json then render_json fmt o else render_human fmt o;
         exit_code o
       end

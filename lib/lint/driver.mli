@@ -1,38 +1,60 @@
 (** Orchestration: walk, lint, suppress, baseline, render, exit code.
 
     Exit-code contract (stable; ci.sh and the fixture tests rely on it):
-    [0] clean, [1] actionable findings, [2] configuration or parse
-    error. *)
+    [0] clean, [1] actionable gating findings ([Rules.gating] — the
+    advisory X1 never fails the gate), [2] configuration, parse or
+    annotation-load error. *)
 
 val default_roots : string list
-(** [lib; bin; bench; test] *)
+(** [lib; bin; bench; test; examples] *)
 
 type outcome = {
-  files : int;  (** number of files linted *)
+  files : int;  (** number of files linted by the shallow pass *)
   actionable : Rules.finding list;
-      (** survived suppression and baseline — these fail the gate *)
+      (** survived suppression and baseline — the gating ones among
+          these fail the gate *)
   suppressed : Rules.finding list;
   baselined : Rules.finding list;
   stale : (string * string * int) list;
       (** baseline entries with unmatched count: (rule id, file, n) *)
-  errors : string list;  (** unreadable roots/files *)
+  errors : string list;  (** unreadable roots/files, cmt load failures *)
 }
 
-val analyze : ?baseline:Baseline.t -> roots:string list -> unit -> outcome
+val analyze :
+  ?baseline:Baseline.t ->
+  ?deep:bool ->
+  ?deep_build_dirs:string list ->
+  ?deep_source_root:string ->
+  roots:string list ->
+  unit ->
+  outcome
 (** Deterministic: files are discovered and reported in sorted order.
-    Directories named [_build], [.git] or [lint_fixtures] are skipped
-    during recursion (explicit roots are always entered). *)
+    Directories named [_build], [.git], [lint_fixtures] or
+    [deep_fixtures] are skipped during recursion (explicit roots are
+    always entered).
+
+    With [~deep:true] the whole-program pass also runs over the
+    [.cmt]/[.cmti] files under [deep_build_dirs] (default
+    [["_build/default"]], i.e. lint from the repo root after a build);
+    its findings are filtered to [roots] and merged before the baseline
+    is applied. An empty [roots] list walks nothing and filters nothing
+    — the deep fixture tests' hook. [deep_source_root] (default ["."])
+    locates sources for the inline-directive scan. *)
 
 val exit_code : outcome -> int
 
 val render_human : Format.formatter -> outcome -> unit
+
 val render_json : Format.formatter -> outcome -> unit
+(** Format ["lbclint/2"]: adds the deep rules to the [findings] stream
+    and renames the stale-baseline key to [stale]. *)
 
 type config = {
   roots : string list;  (** empty means [default_roots] *)
   baseline : string option;
   write_baseline : bool;  (** regenerate [baseline] instead of gating *)
   json : bool;
+  deep : bool;  (** also run the whole-program E1/E2/M1/X1 pass *)
 }
 
 val main : ?fmt:Format.formatter -> config -> int

@@ -1,0 +1,46 @@
+(* M1 — the local-broadcast model invariant.
+
+   Under local broadcast a sender cannot equivocate: every neighbor
+   hears the same transmission. The engine encodes the temptation as
+   [Engine.Unicast], which only the Byzantine adversary (lib/adversary)
+   and the point-to-point lower-bound constructions (lib/lowerbound) may
+   use. An honest-protocol module constructing a per-receiver payload is
+   silently re-deriving the classical model the paper's impossibility
+   results live in — exactly the bug class this rule exists to catch.
+
+   Detection is by constructor: any [Texp_construct] of a constructor
+   named [Unicast] whose result type is named [delivery], recorded by
+   the call-graph walk. Scope: lib only (a bench harness may drive the
+   point-to-point baseline directly); exemption by path component, so a
+   future lib/adversary2 does NOT inherit the license. *)
+
+let exempt_components = [ "adversary"; "lowerbound" ]
+
+let exempt file =
+  List.exists
+    (fun c -> List.mem c exempt_components)
+    (String.split_on_char '/' file)
+
+let lib_scope file = List.mem "lib" (String.split_on_char '/' file)
+
+let run (g : Callgraph.t) =
+  List.concat_map
+    (fun (d : Callgraph.def) ->
+      if not (lib_scope d.file) || exempt d.file then []
+      else
+        List.map
+          (fun (line, col) ->
+            {
+              Rules.rule = Rules.M1;
+              file = d.file;
+              line;
+              col;
+              message =
+                Printf.sprintf
+                  "%s constructs Engine.Unicast outside \
+                   lib/adversary|lib/lowerbound; honest code is \
+                   broadcast-only under the local-broadcast model"
+                  d.name;
+            })
+          d.unicasts)
+    (Callgraph.defs_in_order g)

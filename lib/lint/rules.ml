@@ -7,10 +7,15 @@ type rule =
   | D4 (* polymorphic comparison in lib/ *)
   | D5 (* top-level mutable state in lib/ *)
   | D6 (* catch-all exception handler *)
+  | E1 (* deep: nondeterminism reaching verdict/artifact/fingerprint *)
+  | E2 (* deep: unguarded cross-domain mutable state *)
+  | M1 (* deep: per-receiver payload outside the sanctioned modules *)
+  | X1 (* deep: .mli export never referenced outside its library *)
   | Badsup (* malformed suppression directive *)
   | Parse (* file failed to parse *)
 
 let all = [ D1; D2; D3; D4; D5; D6 ]
+let deep = [ E1; E2; M1; X1 ]
 
 let id = function
   | D1 -> "D1"
@@ -19,6 +24,10 @@ let id = function
   | D4 -> "D4"
   | D5 -> "D5"
   | D6 -> "D6"
+  | E1 -> "E1"
+  | E2 -> "E2"
+  | M1 -> "M1"
+  | X1 -> "X1"
   | Badsup -> "SUP"
   | Parse -> "PARSE"
 
@@ -29,20 +38,33 @@ let of_id = function
   | "D4" -> Some D4
   | "D5" -> Some D5
   | "D6" -> Some D6
+  | "E1" -> Some E1
+  | "E2" -> Some E2
+  | "M1" -> Some M1
+  | "X1" -> Some X1
   | _ -> None (* SUP and PARSE are synthetic: not suppressible by name *)
 
 let severity = function
-  | D1 | D2 | D3 | D6 | Badsup | Parse -> Error
-  | D4 | D5 -> Warning
+  | D1 | D2 | D3 | D6 | E1 | E2 | M1 | Badsup | Parse -> Error
+  | D4 | D5 | X1 -> Warning
 
 let severity_string = function Error -> "error" | Warning -> "warning"
+
+(* X1 is advisory: an export that nothing outside its library references
+   is a candidate for narrowing the .mli, not a correctness defect, so
+   it is reported without failing the gate. Every other rule gates. *)
+let gating = function X1 -> false | _ -> true
 
 (* D1/D3/D6 violate the determinism contract outright and are cheap to
    fix at the point of introduction; grandfathering them would let the
    byte-identity guarantee rot. D2/D4/D5 have pre-existing, individually
-   justified sites, so they may ride in the checked-in baseline. *)
+   justified sites, so they may ride in the checked-in baseline. The
+   deep rules (E1/E2/M1/X1) are whole-program approximations, so a
+   finding may legitimately outlive one PR while the flow it names is
+   restructured — they are baselinable, though the repo's own baseline
+   stays empty. *)
 let baselinable = function
-  | D2 | D4 | D5 -> true
+  | D2 | D4 | D5 | E1 | E2 | M1 | X1 -> true
   | D1 | D3 | D6 | Badsup | Parse -> false
 
 let describe = function
@@ -67,6 +89,22 @@ let describe = function
       "try ... with _ -> swallows every exception (including \
        Stack_overflow and the containment layer's signals); match the \
        specific exceptions instead"
+  | E1 ->
+      "whole-program taint: a verdict/artifact/fingerprint path \
+       transitively reaches a nondeterministic primitive (wall clock, \
+       ambient Random, unordered Hashtbl traversal) through the call \
+       graph"
+  | E2 ->
+      "whole-program domain safety: top-level mutable state is \
+       referenced from code reachable from Domain.spawn without a \
+       dominating Mutex.protect/Domain.DLS guard"
+  | M1 ->
+      "local-broadcast model invariant: only lib/adversary and \
+       lib/lowerbound may construct per-receiver payloads \
+       (Engine.Unicast); honest algorithm code is broadcast-bound"
+  | X1 ->
+      ".mli export never referenced outside its library; narrow the \
+       interface or delete the dead code (advisory: does not gate)"
   | Badsup -> "suppression directive without a reason"
   | Parse -> "file failed to parse"
 
@@ -86,7 +124,11 @@ let rule_order r =
   | D4 -> 4
   | D5 -> 5
   | D6 -> 6
-  | Badsup -> 7
+  | E1 -> 7
+  | E2 -> 8
+  | M1 -> 9
+  | X1 -> 10
+  | Badsup -> 11
   | Parse -> 0
 
 let compare_finding a b =

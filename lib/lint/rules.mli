@@ -1,10 +1,11 @@
 (** The lbclint rule registry.
 
     Determinism and domain-safety rules enforced over [lib/ bin/ bench/
-    test/]. [D1]-[D6] are the user-facing rules; [Badsup] and [Parse]
-    are synthetic findings produced by the engine itself (a malformed
-    suppression directive, an unparseable file) and can be neither
-    suppressed nor baselined. *)
+    test/ examples/]. [D1]-[D6] are the per-file syntactic rules;
+    [E1]/[E2]/[M1]/[X1] are the whole-program rules of the [--deep]
+    typedtree pass; [Badsup] and [Parse] are synthetic findings produced
+    by the engine itself (a malformed suppression directive, an
+    unparseable file) and can be neither suppressed nor baselined. *)
 
 type severity = Error | Warning
 
@@ -15,11 +16,25 @@ type rule =
   | D4  (** polymorphic [compare]/[=]/[Hashtbl.hash] in [lib/] *)
   | D5  (** unguarded top-level mutable state in [lib/] *)
   | D6  (** exception-swallowing [try ... with _ ->] *)
+  | E1
+      (** deep: a verdict / artifact / fingerprint path transitively
+          reaches a nondeterministic primitive through the call graph *)
+  | E2
+      (** deep: top-level mutable state referenced from
+          [Domain.spawn]-reachable code without a dominating guard *)
+  | M1
+      (** deep: [Engine.Unicast] constructed outside [lib/adversary] and
+          [lib/lowerbound] — the local-broadcast non-equivocation
+          invariant *)
+  | X1  (** deep: [.mli] export never referenced outside its library *)
   | Badsup  (** suppression directive missing its mandatory reason *)
   | Parse  (** file failed to parse *)
 
 val all : rule list
-(** The six user-facing rules, in order. *)
+(** The six per-file rules, in order. *)
+
+val deep : rule list
+(** The whole-program rules ([E1; E2; M1; X1]), in order. *)
 
 val id : rule -> string
 (** Stable identifier: ["D1"].."D6", ["SUP"], ["PARSE"]. *)
@@ -31,9 +46,14 @@ val of_id : string -> rule option
 val severity : rule -> severity
 val severity_string : severity -> string
 
+val gating : rule -> bool
+(** Whether a finding of this rule fails the gate (drives the exit
+    code). Only [X1] is advisory: it is reported but never fails. *)
+
 val baselinable : rule -> bool
-(** D2/D4/D5 may be grandfathered in the baseline file; D1/D3/D6 (and
-    the synthetic rules) must always be fixed or suppressed inline. *)
+(** D2/D4/D5 and the deep rules may be grandfathered in the baseline
+    file; D1/D3/D6 (and the synthetic rules) must always be fixed or
+    suppressed inline. *)
 
 val describe : rule -> string
 

@@ -1,0 +1,15 @@
+(** E1 — whole-program nondeterminism taint.
+
+    Flags lib-scope definitions in the verdict/artifact/fingerprint
+    layer that transitively reach a D1/D2/D3 primitive through the
+    resolved call graph. *)
+
+val sink_units : string list
+
+val run :
+  Callgraph.t ->
+  suppressed_at:(string -> Rules.rule -> int -> bool) ->
+  Rules.finding list
+(** [suppressed_at file rule line] cuts taint {e seeds}: a primitive
+    whose own line carries a matching D1/D2/D3 directive does not seed
+    E1. Finding-site suppression is the orchestrator's job. *)

@@ -17,5 +17,4 @@ let compare_int_pair (a1, a2) (b1, b2) =
   let c = Int.compare a1 b1 in
   if c <> 0 then c else Int.compare a2 b2
 
-let by_fst_int (a, _) (b, _) = Int.compare a b
 let by_fst_int_list (a, _) (b, _) = compare_int_list a b

@@ -11,10 +11,6 @@ val compare_int_list : int list -> int list -> int
 
 val compare_int_pair : int * int -> int * int -> int
 
-val by_fst_int : int * 'a -> int * 'b -> int
-(** Order pairs by their [int] first component only (use when the first
-    components are unique keys, e.g. rounds of a per-round tally). *)
-
 val by_fst_int_list : int list * 'a -> int list * 'b -> int
 (** Order pairs by their [int list] first component only (use when the
     first components are unique keys, e.g. EIG labels). *)

@@ -16,9 +16,6 @@ val pp_transcript :
 val pp_stats : Format.formatter -> Engine.stats -> unit
 (** One-line statistics summary. *)
 
-val pp_event : Format.formatter -> Lbc_obs.Obs.event -> unit
-(** One observability trace event as ["[round] label k=v ..."]. *)
-
 val pp_events : Format.formatter -> Lbc_obs.Obs.event list -> unit
 (** A full trace, one event per line — the format behind
     [lbcast run --trace FILE]. *)

@@ -1,0 +1,3 @@
+(* E1 firing case: a fingerprint-named definition transitively reaches
+   the wall clock through Helper.now. *)
+let fingerprint_run () = int_of_float (Helper.now () *. 1e9)

@@ -1,0 +1,6 @@
+(* E2 negative case: the same shape as e2_spawn, but the mutation is
+   dominated by Mutex.protect, so the reference is guarded. *)
+let lock = Mutex.create ()
+let counter = ref 0
+let bump () = Mutex.protect lock (fun () -> incr counter)
+let launch () = Domain.join (Domain.spawn (fun () -> bump ()))

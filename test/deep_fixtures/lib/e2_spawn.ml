@@ -1,0 +1,5 @@
+(* E2 firing case: [bump] runs inside a spawned domain and mutates a
+   top-level ref with no guard. *)
+let counter = ref 0
+let bump () = incr counter
+let launch () = Domain.join (Domain.spawn (fun () -> bump ()))

@@ -1,0 +1,9 @@
+(* E2 finding-site suppression: the unguarded cross-domain mutation is
+   acknowledged inline with a reason. *)
+let counter = ref 0
+
+let bump () =
+  (* lbclint: disable=E2 fixture: monotonic telemetry counter, losing an increment under a race is acceptable *)
+  incr counter
+
+let launch () = Domain.join (Domain.spawn (fun () -> bump ()))

@@ -1,0 +1,3 @@
+(* A nondeterminism source one call away from the sinks: Sys.time is in
+   the deep pass's D1 primitive set. *)
+let now () = Sys.time ()

@@ -1,0 +1,4 @@
+(* M1 finding-site suppression with a reason. *)
+let send v msg =
+  (* lbclint: disable=M1 fixture: stands in for a sanctioned point-to-point baseline module *)
+  Lbc_sim.Engine.Unicast (v, msg)

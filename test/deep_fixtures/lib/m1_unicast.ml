@@ -1,0 +1,3 @@
+(* M1 firing case: a per-receiver payload constructed outside
+   lib/adversary and lib/lowerbound. *)
+let send v msg = Lbc_sim.Engine.Unicast (v, msg)

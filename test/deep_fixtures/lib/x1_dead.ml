@@ -1,0 +1,2 @@
+let used = 1
+let dead = 2

@@ -1,0 +1,4 @@
+(* X1 fixture: [used] is referenced from the lbc_deepfix_user library,
+   [dead] from nowhere. *)
+val used : int
+val dead : int

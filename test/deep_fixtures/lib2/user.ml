@@ -1,0 +1,1 @@
+let refers_to_used = Lbc_deepfix.X1_dead.used + 1

@@ -1,0 +1,3 @@
+let t () =
+  (* lbclint: disable=D1 fixture: CRLF line endings must not break the scan *)
+  Sys.time ()

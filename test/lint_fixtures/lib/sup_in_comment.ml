@@ -1,0 +1,3 @@
+(* A directive nested inside a larger comment block still applies:
+   (* lbclint: disable=D1 fixture: the scan is textual, comment nesting is invisible to it *) *)
+let t () = Sys.time ()

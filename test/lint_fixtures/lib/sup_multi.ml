@@ -1,0 +1,3 @@
+let f (h : (int, int) Hashtbl.t) (l : int list) =
+  (* lbclint: disable=D2,D4 fixture: one directive may justify several rules at once *)
+  (Hashtbl.fold (fun k _ acc -> acc + k) h 0, List.sort compare l)

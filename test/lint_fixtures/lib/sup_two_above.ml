@@ -1,0 +1,3 @@
+(* lbclint: disable=D1 fixture: two lines above the offense, deliberately out of range *)
+
+let t () = Sys.time ()

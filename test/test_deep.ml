@@ -1,0 +1,199 @@
+(* Tests for the whole-program --deep pass (lib/lint: Cmt_load,
+   Callgraph, Taint/E1, Domsafe/E2, Model/M1, Deadexport/X1).
+
+   The fixtures under deep_fixtures/ are real dune libraries — the deep
+   pass reads .cmt/.cmti typed ASTs, so unlike the lint_fixtures
+   snippets they must actually compile. The test binary runs from
+   _build/default/test, where the fixture annotations sit under
+   deep_fixtures/ and the (dune-copied) sources are reachable via
+   ".." from the build root — which is also why every finding path
+   below is build-root-relative (test/deep_fixtures/...). *)
+
+module Rules = Lbc_lint.Rules
+module Deep = Lbc_lint.Deep
+module Baseline = Lbc_lint.Baseline
+module Driver = Lbc_lint.Driver
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let fixture_file name = "test/deep_fixtures/lib/" ^ name
+
+(* One Deep.run over the fixture tree, shared by all cases. *)
+let result =
+  lazy (Deep.run ~build_dirs:[ "deep_fixtures" ] ~source_root:".." ())
+
+let kept_in file =
+  List.filter
+    (fun (f : Rules.finding) -> f.Rules.file = file)
+    (Lazy.force result).Deep.kept
+
+let suppressed_in file =
+  List.filter
+    (fun (f : Rules.finding) -> f.Rules.file = file)
+    (Lazy.force result).Deep.suppressed
+
+let summarize fs =
+  String.concat ";"
+    (List.map
+       (fun (f : Rules.finding) ->
+         Printf.sprintf "%s:%d" (Rules.id f.Rules.rule) f.Rules.line)
+       fs)
+
+let test_loads_cleanly () =
+  let r = Lazy.force result in
+  check "no cmt load errors" true (r.Deep.errors = []);
+  check "analyzed some units" true (r.Deep.units >= 10)
+
+let test_e1_fires () =
+  match kept_in (fixture_file "e1_taint.ml") with
+  | [ f ] ->
+      check "rule" true (f.Rules.rule = Rules.E1);
+      check_int "at the sink definition" 3 f.Rules.line;
+      (* the message names the primitive and the call chain to it *)
+      let has needle =
+        let s = f.Rules.message in
+        let nl = String.length needle and hl = String.length s in
+        let rec go i =
+          i + nl <= hl && (String.sub s i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      check "names the primitive" true (has "Stdlib.Sys.time");
+      check "gives the chain" true (has "fingerprint_run -> now")
+  | fs -> Alcotest.failf "expected one E1, got [%s]" (summarize fs)
+
+let test_e1_seed_cut_by_inline_suppression () =
+  (* the D1 site in e1_sup.ml carries a justified directive, so the
+     taint never seeds: no finding, not even a suppressed one *)
+  check_str "no kept" "" (summarize (kept_in (fixture_file "e1_sup.ml")));
+  check_str "no suppressed" ""
+    (summarize (suppressed_in (fixture_file "e1_sup.ml")))
+
+let test_e2_fires () =
+  check_str "unguarded spawn-reachable mutation" "E2:4"
+    (summarize (kept_in (fixture_file "e2_spawn.ml")))
+
+let test_e2_guarded_clean () =
+  check_str "no kept" "" (summarize (kept_in (fixture_file "e2_guarded.ml")));
+  check_str "no suppressed" ""
+    (summarize (suppressed_in (fixture_file "e2_guarded.ml")))
+
+let test_e2_suppressed () =
+  check_str "no kept" "" (summarize (kept_in (fixture_file "e2_sup.ml")));
+  check_str "suppressed at the mutation" "E2:7"
+    (summarize (suppressed_in (fixture_file "e2_sup.ml")))
+
+let test_m1_fires () =
+  check_str "unicast outside sanctioned dirs" "M1:3"
+    (summarize (kept_in (fixture_file "m1_unicast.ml")))
+
+let test_m1_suppressed () =
+  check_str "no kept" "" (summarize (kept_in (fixture_file "m1_sup.ml")));
+  check_str "suppressed" "M1:4"
+    (summarize (suppressed_in (fixture_file "m1_sup.ml")))
+
+let test_x1_dead_vs_used () =
+  (* [dead] has no user outside its unit; [used] is referenced from the
+     lbc_deepfix_user library and must stay alive *)
+  match kept_in (fixture_file "x1_dead.mli") with
+  | [ f ] ->
+      check "rule" true (f.Rules.rule = Rules.X1);
+      check_int "flags [dead] only" 4 f.Rules.line
+  | fs -> Alcotest.failf "expected one X1, got [%s]" (summarize fs)
+
+let test_deep_rules_baselinable () =
+  (* an E1 finding can be grandfathered via the baseline machinery *)
+  let baseline =
+    match Baseline.of_string ("E1 " ^ fixture_file "e1_taint.ml" ^ " 1") with
+    | Ok b -> b
+    | Error m -> Alcotest.failf "baseline rejected: %s" m
+  in
+  let actionable, baselined, stale =
+    Baseline.apply baseline (kept_in (fixture_file "e1_taint.ml"))
+  in
+  check_str "absorbed" "" (summarize actionable);
+  check_str "baselined" "E1:3" (summarize baselined);
+  check "no stale" true (stale = [])
+
+let test_x1_does_not_gate () =
+  (* X1 is advisory: an outcome whose only findings are X1 exits 0 *)
+  check "X1 non-gating" true (not (Rules.gating Rules.X1));
+  List.iter
+    (fun r -> check (Rules.id r ^ " gates") true (Rules.gating r))
+    [ Rules.E1; Rules.E2; Rules.M1 ];
+  let x1_only =
+    {
+      Driver.files = 0;
+      actionable = kept_in (fixture_file "x1_dead.mli");
+      suppressed = [];
+      baselined = [];
+      stale = [];
+      errors = [];
+    }
+  in
+  check_int "exit 0 on X1-only outcome" 0 (Driver.exit_code x1_only);
+  let with_m1 =
+    { x1_only with Driver.actionable = kept_in (fixture_file "m1_unicast.ml") }
+  in
+  check_int "exit 1 on M1" 1 (Driver.exit_code with_m1)
+
+let test_rule_metadata () =
+  check "deep rule set" true (Rules.deep = [ Rules.E1; Rules.E2; Rules.M1; Rules.X1 ]);
+  List.iter
+    (fun r -> check (Rules.id r ^ " described") true (Rules.describe r <> ""))
+    Rules.all;
+  (* the E1 sink set is the campaign verdict/artifact surface *)
+  check "sinks include the artifact unit" true
+    (List.mem "Lbc_campaign__Artifact" Lbc_lint.Taint.sink_units)
+
+let test_deep_severities () =
+  List.iter
+    (fun (r, want) ->
+      check_str (Rules.id r ^ " severity") want
+        (Rules.severity_string (Rules.severity r)))
+    [
+      (Rules.E1, "error");
+      (Rules.E2, "error");
+      (Rules.M1, "error");
+      (Rules.X1, "warning");
+    ]
+
+let () =
+  Alcotest.run "deep"
+    [
+      ( "infrastructure",
+        [
+          Alcotest.test_case "cmt units load" `Quick test_loads_cleanly;
+          Alcotest.test_case "rule metadata" `Quick test_rule_metadata;
+          Alcotest.test_case "severities" `Quick test_deep_severities;
+          Alcotest.test_case "X1 is advisory" `Quick test_x1_does_not_gate;
+          Alcotest.test_case "deep rules baselinable" `Quick
+            test_deep_rules_baselinable;
+        ] );
+      ( "e1",
+        [
+          Alcotest.test_case "taint reaches fingerprint sink" `Quick
+            test_e1_fires;
+          Alcotest.test_case "justified primitive cuts the seed" `Quick
+            test_e1_seed_cut_by_inline_suppression;
+        ] );
+      ( "e2",
+        [
+          Alcotest.test_case "unguarded cross-domain mutation" `Quick
+            test_e2_fires;
+          Alcotest.test_case "Mutex.protect guards" `Quick
+            test_e2_guarded_clean;
+          Alcotest.test_case "inline suppression" `Quick test_e2_suppressed;
+        ] );
+      ( "m1",
+        [
+          Alcotest.test_case "unicast outside adversary" `Quick test_m1_fires;
+          Alcotest.test_case "inline suppression" `Quick test_m1_suppressed;
+        ] );
+      ( "x1",
+        [
+          Alcotest.test_case "dead vs used export" `Quick test_x1_dead_vs_used;
+        ] );
+    ]

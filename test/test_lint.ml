@@ -40,6 +40,35 @@ let test_d1_suppressed () =
   let o = expect ~file:"lib/d1_suppressed.ml" ~findings:[] ~exit:0 () in
   check_str "suppressed list" "D1:4" (pp_summary (summarize o.Driver.suppressed))
 
+(* Suppression placement and parsing edge cases; these pin the scanner's
+   exact (textual, line-based) semantics. *)
+
+let test_sup_multi_rule () =
+  (* one [disable=D2,D4] directive covers both findings on the next line *)
+  let o = expect ~file:"lib/sup_multi.ml" ~findings:[] ~exit:0 () in
+  check_str "both rules suppressed" "D2:3;D4:3"
+    (pp_summary (summarize o.Driver.suppressed))
+
+let test_sup_same_line () =
+  let o = expect ~file:"lib/sup_same_line.ml" ~findings:[] ~exit:0 () in
+  check_str "same-line placement" "D1:1"
+    (pp_summary (summarize o.Driver.suppressed))
+
+let test_sup_two_above_out_of_range () =
+  (* coverage is the directive's own line plus the next one, no further *)
+  ignore (expect ~file:"lib/sup_two_above.ml" ~findings:[ ("D1", 3) ] ~exit:1 ())
+
+let test_sup_crlf () =
+  let o = expect ~file:"lib/sup_crlf.ml" ~findings:[] ~exit:0 () in
+  check_str "CRLF endings" "D1:3" (pp_summary (summarize o.Driver.suppressed))
+
+let test_sup_inside_comment_block () =
+  (* the scan is textual: a directive line nested in a larger comment
+     still applies to the following line *)
+  let o = expect ~file:"lib/sup_in_comment.ml" ~findings:[] ~exit:0 () in
+  check_str "directive inside comment block" "D1:3"
+    (pp_summary (summarize o.Driver.suppressed))
+
 let test_d2_fires () =
   ignore (expect ~file:"lib/d2_fold.ml" ~findings:[ ("D2", 3) ] ~exit:1 ())
 
@@ -129,14 +158,15 @@ let test_baseline_rejects_unbaselinable () =
 
 let test_whole_tree () =
   (* One analyze over the whole fixture tree: every rule fires once,
-     the suppressed D1 is counted apart, the baseline absorbs one D2,
-     and the parse error forces exit 2. *)
+     the suppressed findings are counted apart, the baseline absorbs one
+     D2, and the parse error forces exit 2. The trailing D1 is
+     sup_two_above.ml, whose directive sits out of coverage range. *)
   let baseline = load_fixture_baseline () in
   let o = Driver.analyze ~baseline ~roots:[ "lint_fixtures" ] () in
   check_str "whole-tree findings"
-    "SUP:3;D1:2;D2:3;D3:3;D4:2;D5:3;D6:3;PARSE:2"
+    "SUP:3;D1:2;D2:3;D3:3;D4:2;D5:3;D6:3;PARSE:2;D1:3"
     (pp_summary (summarize o.Driver.actionable));
-  check_int "suppressed" 1 (List.length o.Driver.suppressed);
+  check_int "suppressed" 6 (List.length o.Driver.suppressed);
   check_int "baselined" 1 (List.length o.Driver.baselined);
   check_int "exit" 2 (Driver.exit_code o)
 
@@ -159,7 +189,7 @@ let null_fmt =
 let test_main_exit_codes () =
   let run roots baseline =
     Driver.main ~fmt:null_fmt
-      { Driver.roots; baseline; write_baseline = false; json = false }
+      { Driver.roots; baseline; write_baseline = false; json = false; deep = false }
   in
   check_int "clean tree" 0 (run [ fixture "lib/d2_sorted.ml" ] None);
   check_int "findings" 1 (run [ fixture "lib/d2_fold.ml" ] None);
@@ -168,22 +198,40 @@ let test_main_exit_codes () =
   check_int "baseline absorbs" 0
     (run [ fixture "lib/d2_baselined.ml" ] (Some (fixture "fixtures.baseline")))
 
-let test_json_render () =
-  let o = Driver.analyze ~roots:[ fixture "lib/d1_clock.ml" ] () in
+let render_to_string o =
   let buf = Buffer.create 256 in
   let fmt = Format.formatter_of_buffer buf in
   Driver.render_json fmt o;
   Format.pp_print_flush fmt ();
-  let s = Buffer.contents buf in
-  let contains needle =
-    let nl = String.length needle and hl = String.length s in
-    let rec go i = i + nl <= hl && (String.sub s i nl = needle || go (i + 1)) in
-    go 0
-  in
-  check "format tag" true (contains "\"format\":\"lbclint/1\"");
+  Buffer.contents buf
+
+let str_contains s needle =
+  let nl = String.length needle and hl = String.length s in
+  let rec go i = i + nl <= hl && (String.sub s i nl = needle || go (i + 1)) in
+  go 0
+
+let test_json_render () =
+  let o = Driver.analyze ~roots:[ fixture "lib/d1_clock.ml" ] () in
+  let s = render_to_string o in
+  let contains = str_contains s in
+  check "format tag" true (contains "\"format\":\"lbclint/2\"");
   check "rule emitted" true (contains "\"rule\":\"D1\"");
   check "file emitted" true (contains "lint_fixtures/lib/d1_clock.ml");
   check "exit emitted" true (contains "\"exit\":1")
+
+let test_json_stale_entries () =
+  (* an unmatched baseline entry surfaces under the lbclint/2 "stale"
+     key with its rule, file and unmatched count *)
+  let baseline = load_fixture_baseline () in
+  let o = Driver.analyze ~baseline ~roots:[ fixture "lib/d2_fold.ml" ] () in
+  let s = render_to_string o in
+  check "stale array" true
+    (str_contains s
+       "\"stale\":[{\"rule\":\"D2\",\"file\":\"lint_fixtures/lib/d2_baselined.ml\",\"unmatched\":1}]")
+
+let test_default_roots_include_examples () =
+  check_str "default roots" "lib bin bench test examples"
+    (String.concat " " Driver.default_roots)
 
 let () =
   Alcotest.run "lint"
@@ -214,6 +262,14 @@ let () =
             test_d1_suppressed;
           Alcotest.test_case "reasonless directive is a finding" `Quick
             test_reasonless_directive_is_finding;
+          Alcotest.test_case "multi-rule disable=D2,D4" `Quick
+            test_sup_multi_rule;
+          Alcotest.test_case "same-line placement" `Quick test_sup_same_line;
+          Alcotest.test_case "two lines above is out of range" `Quick
+            test_sup_two_above_out_of_range;
+          Alcotest.test_case "CRLF line endings" `Quick test_sup_crlf;
+          Alcotest.test_case "directive inside comment block" `Quick
+            test_sup_inside_comment_block;
         ] );
       ( "baseline",
         [
@@ -232,5 +288,9 @@ let () =
           Alcotest.test_case "exit codes end to end" `Quick
             test_main_exit_codes;
           Alcotest.test_case "json report" `Quick test_json_render;
+          Alcotest.test_case "json stale baseline entries" `Quick
+            test_json_stale_entries;
+          Alcotest.test_case "default roots include examples" `Quick
+            test_default_roots_include_examples;
         ] );
     ]
