@@ -6,7 +6,7 @@
    (round complexity, phase counts, threshold trade-offs). This harness
    regenerates each of them as an experiment E1-E16 (see DESIGN.md and
    EXPERIMENTS.md), then times the core operations with Bechamel
-   (B1-B6), and writes a machine-readable BENCH_7.json (per-experiment
+   (B1-B6), and writes a machine-readable BENCH_8.json (per-experiment
    wall-clock + key obs counters) next to the human tables.
 
    The exhaustive sweeps (E1, E2, E5, E8) are expressed as declarative
@@ -58,18 +58,19 @@ module Campaign = Lbc_campaign
 module Net = Lbc_net.Net
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable results (BENCH_7.json)                             *)
+(* Machine-readable results (BENCH_8.json)                             *)
 (* ------------------------------------------------------------------ *)
 
 (* Alongside the human tables, the harness records each experiment's
    wall-clock and the key obs counters its campaigns accumulated, and
-   writes them as BENCH_7.json — a small, diffable trend signal for the
+   writes them as BENCH_8.json — a small, diffable trend signal for the
    instrumented hot paths (bench/ is not lib/, so top-level refs are
    fine here). *)
 let tracked_counters =
   [
     "engine.rounds"; "engine.tx"; "flood.accept"; "packing.dfs_visited";
-    "perturb.dropped"; "net.sim_ns"; "net.link_ns.count"; "net.link_ns.sum";
+    "packing.cache_hit"; "packing.cache_miss"; "perturb.dropped"; "net.sim_ns";
+    "net.link_ns.count"; "net.link_ns.sum";
   ]
 
 let bench_entries : (string * float * (string * int) list) list ref = ref []
@@ -117,7 +118,10 @@ let write_bench_json path =
                  J.Obj
                    [
                      ("id", J.Str id);
-                     ("wall_s", J.Float wall);
+                     (* wall times are integer microseconds: exactly
+                        representable, so the JSON is diffable and
+                        format-stable (lbc-bench/1) *)
+                     ("wall_us", J.Int (int_of_float (Float.round (wall *. 1e6))));
                      ( "counters",
                        J.Obj (List.map (fun (k, v) -> (k, J.Int v)) counters)
                      );
@@ -680,8 +684,8 @@ let e11 () =
       Array.init n (fun v ->
           Lbc_sim.Engine.Honest
             (Lbc_flood.Flood.proc
-               (Lbc_flood.Flood.create g ~me:v ~initiate:Bit.One
-                  ~default:Bit.default ())))
+               (Lbc_flood.Flood.create g ~me:v ~vcompare:Bit.compare
+                  ~initiate:Bit.One ~default:Bit.default ())))
     in
     let r =
       Lbc_sim.Engine.run topo ~model:Lbc_sim.Engine.Local_broadcast
@@ -905,8 +909,8 @@ let bechamel_benches () =
              Array.init 9 (fun v ->
                  Lbc_sim.Engine.Honest
                    (Lbc_flood.Flood.proc
-                      (Lbc_flood.Flood.create g ~me:v ~initiate:Bit.One
-                         ~default:Bit.default ())))
+                      (Lbc_flood.Flood.create g ~me:v ~vcompare:Bit.compare
+                         ~initiate:Bit.One ~default:Bit.default ())))
            in
            ignore
              (Lbc_sim.Engine.run topo ~model:Lbc_sim.Engine.Local_broadcast
@@ -1054,5 +1058,5 @@ let () =
   timed "e15" e15;
   timed "lint_deep" lint_deep;
   timed "bechamel" bechamel_benches;
-  write_bench_json "BENCH_7.json";
+  write_bench_json "BENCH_8.json";
   Printf.printf "\nAll experiments complete.\n"

@@ -18,6 +18,9 @@
 #   - an E15 smoke grid under the wan network profile with drop chaos:
 #     the lbc-campaign/4 artifact must carry a simulated-time section
 #     and fingerprint identically on 1 and 4 domains;
+#   - a perf smoke: two identical E5 runs must fingerprint identically
+#     and show packing.cache_hit > 0 (the certificate cache engages),
+#     and a committed BENCH_8.json must parse as lbc-bench/1;
 #   - migration checks: legacy lbc-campaign/1, /2 and /3 artifacts must
 #     be rejected with a clear version message, not misparsed.
 set -eu
@@ -162,6 +165,38 @@ nfp4=$(dune exec bin/lbcast.exe -- report --fingerprint "$tmp/e15_4.json")
 [ "$nfp1" = "$nfp4" ] \
   || { echo "FAIL: net fingerprint differs across domain counts"; exit 1; }
 echo "net fingerprint $nfp1 (1 vs 4 domains)"
+
+echo "== perf smoke: packing certificate cache =="
+# Two identical E5 runs: the per-execution packing cache must actually
+# engage (packing.cache_hit > 0 in the artifact stats) and must not
+# perturb determinism (same fingerprint on both runs).
+dune exec bin/lbcast.exe -- campaign --exp e5 --domains 1 \
+  --out "$tmp/e5_a.json"
+dune exec bin/lbcast.exe -- campaign --exp e5 --domains 1 \
+  --out "$tmp/e5_b.json"
+efp1=$(dune exec bin/lbcast.exe -- report --fingerprint "$tmp/e5_a.json")
+efp2=$(dune exec bin/lbcast.exe -- report --fingerprint "$tmp/e5_b.json")
+[ "$efp1" = "$efp2" ] \
+  || { echo "FAIL: E5 fingerprint not reproducible"; exit 1; }
+dune exec bin/lbcast.exe -- report --stats "$tmp/e5_a.json" \
+  > "$tmp/e5_stats.txt"
+hits=$(awk '/packing\.cache_hit/ { s += $2 } END { print s + 0 }' \
+  "$tmp/e5_stats.txt")
+[ "$hits" -gt 0 ] \
+  || { echo "FAIL: packing.cache_hit is $hits, cache never engaged"; exit 1; }
+echo "perf smoke OK: fingerprint $efp1, packing.cache_hit $hits"
+
+echo "== bench results artifact =="
+# The committed BENCH_8.json (written by `dune exec bench/main.exe`) must
+# stay parseable lbc-bench/1; stage it with the other CI artifacts.
+if [ -f BENCH_8.json ]; then
+  grep -q '"format": *"lbc-bench/1"' BENCH_8.json \
+    || { echo "FAIL: BENCH_8.json is not lbc-bench/1"; exit 1; }
+  cp BENCH_8.json "$tmp/BENCH_8.json"
+  echo "BENCH_8.json staged"
+else
+  echo "note: BENCH_8.json absent (bench not yet run on this checkout)"
+fi
 
 echo "== legacy artifacts rejected =="
 for v in 1 2 3; do

@@ -56,6 +56,7 @@ val fstep :
   kind ->
   g:Lbc_graph.Graph.t ->
   me:int ->
+  vcompare:('v -> 'v -> int) ->
   input:'v ->
   default:'v ->
   flip:('v -> 'v) ->
@@ -63,6 +64,8 @@ val fstep :
   'v Lbc_flood.Flood.wire Lbc_sim.Engine.fstep
 (** Interpret a strategy as a faulty engine step for one flooding
     instance. [input] is the value the node would honestly flood,
-    [default] the flood's missing-message default, [flip] an involution
-    on values used by the tampering strategies, and [seed] makes the
-    randomised strategies deterministic. *)
+    [default] the flood's missing-message default, [vcompare] the value
+    order handed to the internal flood stores (see
+    {!Lbc_flood.Flood.create}), [flip] an involution on values used by
+    the tampering strategies, and [seed] makes the randomised strategies
+    deterministic. *)

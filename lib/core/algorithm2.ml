@@ -43,7 +43,10 @@ let timing_valid ~heard_round (m : Bit.t Flood.wire) =
   List.length m.Flood.path = heard_round - 1
 
 let phase1_proc g ~me ~input =
-  let store1 = Flood.create g ~me ~initiate:input ~default:Bit.default () in
+  let store1 =
+    Flood.create g ~me ~vcompare:Bit.compare ~initiate:input
+      ~default:Bit.default ()
+  in
   let st = { store1; heard_rev = [] } in
   let inner = Flood.proc store1 in
   let step ~round ~inbox =
@@ -83,6 +86,8 @@ let compare_report (z1, (m1 : Bit.t Flood.wire)) (z2, (m2 : Bit.t Flood.wire)) =
       | 0 -> Lbc_sim.Det.compare_int_list m1.Flood.path m2.Flood.path
       | c -> c)
   | c -> c
+
+let compare_reports = List.compare compare_report
 
 let reports_of g ~who heard : report list =
   List.sort_uniq compare_report (with_defaults g ~who heard)
@@ -127,67 +132,118 @@ type attribution = {
   silent_on : f:int -> z:int -> path:int list -> bool;
 }
 
+(* The records of one reporter overwhelmingly carry the same report
+   list (the reporter floods one value; only tampering relays produce
+   variants), and those lists are large — n·Σdeg entries. Grouping the
+   records by structurally-equal value means the per-claim key tables
+   are built once per distinct list and shared by every record in the
+   group, instead of being rebuilt per record: this was the dominant
+   cost of the whole algorithm. The physical-equality fast path catches
+   the relays that forwarded the reporter's allocation unchanged. *)
+type group = {
+  value : report list;
+  claims : (report, unit) Hashtbl.t; (* full (z, m) claim keys *)
+  keys : (int * int list, unit) Hashtbl.t; (* (z, path) keys, for omission *)
+  mutable masks : Packing.mask list; (* one disjointness mask per record *)
+}
+
 let attribution_index g ~me ~heard ~store2 =
+  let defaults = with_defaults g ~who:me heard in
   let direct = Hashtbl.create 256 in
-  List.iter
-    (fun ((z, m) : report) -> Hashtbl.replace direct (z, m) ())
-    (with_defaults g ~who:me heard);
-  let supports : (report, Packing.mask list) Hashtbl.t = Hashtbl.create 256 in
-  (* per reporter: (disjointness mask, claim-key table) per record *)
-  let by_reporter :
-      (int, Packing.mask * (int * int list, unit) Hashtbl.t) Hashtbl.t =
-    Hashtbl.create 64
-  in
-  List.iter
-    (fun (reporter, path, (reports : report list)) ->
-      let mask = Packing.mask_of_nodes (List.filter (( <> ) me) path) in
-      let keys = Hashtbl.create (List.length reports + 1) in
-      List.iter
-        (fun ((z, m) as claim) ->
-          Hashtbl.replace keys (z, m.Flood.path) ();
-          if G.mem_edge g z reporter && z <> me && not (List.mem z path) then begin
-            let prev =
-              Option.value ~default:[] (Hashtbl.find_opt supports claim)
-            in
-            Hashtbl.replace supports claim (mask :: prev)
-          end)
-        reports;
-      Hashtbl.add by_reporter reporter (mask, keys))
-    (Flood.records store2);
+  List.iter (fun ((z, m) : report) -> Hashtbl.replace direct (z, m) ()) defaults;
   let heard_keys = Hashtbl.create 256 in
   List.iter
     (fun ((z, m) : report) -> Hashtbl.replace heard_keys (z, m.Flood.path) ())
-    (with_defaults g ~who:me heard);
-  let silent_cache = Hashtbl.create 256 in
+    defaults;
+  let equal_report (a : report) (b : report) = a == b || compare_report a b = 0 in
+  let equal_reports (a : report list) (b : report list) =
+    a == b || List.equal equal_report a b
+  in
+  let by_reporter : (int, group list ref) Hashtbl.t = Hashtbl.create 64 in
+  Flood.iter_records store2
+    (fun ~origin:reporter ~path:_ ~sans_me:mask ~value:(reports : report list) ->
+      let groups =
+        match Hashtbl.find_opt by_reporter reporter with
+        | Some gs -> gs
+        | None ->
+            let gs = ref [] in
+            Hashtbl.replace by_reporter reporter gs;
+            gs
+      in
+      let group =
+        match
+          List.find_opt (fun grp -> equal_reports grp.value reports) !groups
+        with
+        | Some grp -> grp
+        | None ->
+            let len = List.length reports + 1 in
+            let claims = Hashtbl.create len in
+            let keys = Hashtbl.create len in
+            List.iter
+              (fun ((z, m) as claim : report) ->
+                Hashtbl.replace claims claim ();
+                Hashtbl.replace keys (z, m.Flood.path) ())
+              reports;
+            let grp = { value = reports; claims; keys; masks = [] } in
+            groups := grp :: !groups;
+            grp
+      in
+      group.masks <- mask :: group.masks);
+  let groups_of y =
+    match Hashtbl.find_opt by_reporter y with Some gs -> !gs | None -> []
+  in
+  (* The supporting masks for a positive claim (z, m): every record whose
+     reporter is a neighbour of z, whose report list contains the claim,
+     and whose path avoids z (z's bit in the mask detects membership; me
+     itself is excluded from the masks and handled upfront). Computed
+     lazily per queried claim — fault discovery probes only a small
+     subset of the claim universe — and the packing certificate itself is
+     memoised across claims that collect the same masks. *)
+  let pcache = Packing.Cache.create () in
+  let support_masks ~z ~keep =
+    let masks = ref [] in
+    Nodeset.iter
+      (fun y ->
+        List.iter
+          (fun grp ->
+            if keep grp then
+              List.iter
+                (fun mask ->
+                  if not (Packing.mem mask z) then masks := mask :: !masks)
+                grp.masks)
+          (groups_of y))
+      (G.neighbors g z);
+    !masks
+  in
+  let sent_cache = Hashtbl.create 256 in
   let sent ~f ~z ~(m : Bit.t Flood.wire) =
     if z = me then false (* a node never accuses itself *)
     else if G.mem_edge g z me then Hashtbl.mem direct (z, m)
     else
-      match Hashtbl.find_opt supports (z, m) with
-      | None -> false
-      | Some masks -> Packing.count masks ~limit:(f + 1) >= f + 1
+      match Hashtbl.find_opt sent_cache (f, z, m) with
+      | Some r -> r
+      | None ->
+          let masks =
+            support_masks ~z ~keep:(fun grp -> Hashtbl.mem grp.claims (z, m))
+          in
+          let r = Packing.Cache.count pcache masks ~limit:(f + 1) >= f + 1 in
+          Hashtbl.replace sent_cache (f, z, m) r;
+          r
   in
+  let silent_cache = Hashtbl.create 256 in
   let silent_on ~f ~z ~path =
     if z = me then false
     else if G.mem_edge g z me then not (Hashtbl.mem heard_keys (z, path))
     else
-      match Hashtbl.find_opt silent_cache (z, path) with
+      match Hashtbl.find_opt silent_cache (f, z, path) with
       | Some r -> r
       | None ->
-          let masks = ref [] in
-          Nodeset.iter
-            (fun y ->
-              List.iter
-                (fun (mask, keys) ->
-                  if not (Hashtbl.mem keys (z, path)) then
-                    (* the record's path must avoid z for z::path to be a
-                       simple z->me delivery path; z's bit in the mask
-                       detects membership (me itself is excluded) *)
-                    if not (Packing.mem mask z) then masks := mask :: !masks)
-                (Hashtbl.find_all by_reporter y))
-            (G.neighbors g z);
-          let r = Packing.count !masks ~limit:(f + 1) >= f + 1 in
-          Hashtbl.replace silent_cache (z, path) r;
+          let masks =
+            support_masks ~z ~keep:(fun grp ->
+                not (Hashtbl.mem grp.keys (z, path)))
+          in
+          let r = Packing.Cache.count pcache masks ~limit:(f + 1) >= f + 1 in
+          Hashtbl.replace silent_cache (f, z, path) r;
           r
   in
   { sent; silent_on }
@@ -300,6 +356,25 @@ let flip_reports (reports : report list) : report list =
       (z, { m with Flood.value = Bit.flip m.Flood.value }))
     reports
 
+(* Honest relays forward a flooded value allocation unchanged, so a
+   tampering node flips the same (large) list object over and over;
+   memoizing on physical identity shares the flipped copy too, which
+   keeps the downstream attribution indexes' value-grouping on its
+   physical-equality fast path instead of re-proving structural equality
+   per record. One memo per faulty role closure, so no state crosses a
+   scenario (or a domain); the table stays small — one entry per
+   distinct value object the node ever tampers. Purely an allocation/
+   sharing change: the flipped lists are structurally identical. *)
+let memoized_flip_reports () =
+  let memo = ref [] in
+  fun reports ->
+    match List.assq reports !memo with
+    | flipped -> flipped
+    | exception Not_found ->
+        let flipped = flip_reports reports in
+        memo := (reports, flipped) :: !memo;
+        flipped
+
 let run_traced ~g ~f ~inputs ~faulty
     ?(strategy = fun _ -> Strategy.Flip_forwards) ?(seed = 0) () =
   let n = G.size g in
@@ -314,8 +389,8 @@ let run_traced ~g ~f ~inputs ~faulty
     Array.init n (fun v ->
         if is_faulty v then
           Engine.Faulty
-            (Strategy.fstep (strategy v) ~g ~me:v ~input:inputs.(v)
-               ~default:Bit.default ~flip:Bit.flip ~seed)
+            (Strategy.fstep (strategy v) ~g ~me:v ~vcompare:Bit.compare
+               ~input:inputs.(v) ~default:Bit.default ~flip:Bit.flip ~seed)
         else Engine.Honest (phase1_proc g ~me:v ~input:inputs.(v)))
   in
   let r1 =
@@ -338,12 +413,14 @@ let run_traced ~g ~f ~inputs ~faulty
     Array.init n (fun v ->
         if is_faulty v then
           Engine.Faulty
-            (Strategy.fstep (strategy v) ~g ~me:v ~input:(reports v)
-               ~default:[] ~flip:flip_reports ~seed:(seed + 1))
+            (Strategy.fstep (strategy v) ~g ~me:v ~vcompare:compare_reports
+               ~input:(reports v) ~default:[] ~flip:(memoized_flip_reports ())
+               ~seed:(seed + 1))
         else
           Engine.Honest
             (Flood.proc
-               (Flood.create g ~me:v ~initiate:(reports v) ~default:[] ())))
+               (Flood.create g ~me:v ~vcompare:compare_reports
+                  ~initiate:(reports v) ~default:[] ())))
   in
   let r2 =
     Engine.run topo ~model:Engine.Local_broadcast ~rounds:per_phase
@@ -387,11 +464,14 @@ let run_traced ~g ~f ~inputs ~faulty
     Array.init n (fun v ->
         if is_faulty v then
           Engine.Faulty
-            (Strategy.fstep (strategy v) ~g ~me:v ~input:inputs.(v)
-               ~default:Bit.default ~flip:Bit.flip ~seed:(seed + 2))
+            (Strategy.fstep (strategy v) ~g ~me:v ~vcompare:Bit.compare
+               ~input:inputs.(v) ~default:Bit.default ~flip:Bit.flip
+               ~seed:(seed + 2))
         else
           Engine.Honest
-            (Flood.proc (Flood.create g ~me:v ?initiate:b_decision.(v) ())))
+            (Flood.proc
+               (Flood.create g ~me:v ~vcompare:Bit.compare
+                  ?initiate:b_decision.(v) ())))
   in
   let r3 =
     Engine.run topo ~model:Engine.Local_broadcast ~rounds:per_phase

@@ -31,7 +31,7 @@ let proc ~g ~f ~t ~me ~input : (Bit.t Lbc_flood.Flood.wire, Bit.t) Engine.proc
   in
   let gamma = ref input in
   let fresh_store () =
-    Flood.create g ~me ~initiate:!gamma ~default:Bit.default ()
+    Flood.create g ~me ~vcompare:Bit.compare ~initiate:!gamma ~default:Bit.default ()
   in
   let store = ref (fresh_store ()) in
   let current = ref 0 in

@@ -11,6 +11,15 @@ let rounds ~g ~f = (f + 1) * G.size g
 
 let flip_msg (m : msg) : msg = List.map (fun (l, b) -> (l, Bit.flip b)) m
 
+(* Same order as the polymorphic compare this replaces: label (int-list
+   lexicographic), then bit; lists lexicographically. *)
+let compare_entry (l1, b1) (l2, b2) =
+  match Lbc_sim.Det.compare_int_list l1 l2 with
+  | 0 -> Bit.compare b1 b2
+  | c -> c
+
+let compare_msg (a : msg) (b : msg) = List.compare compare_entry a b
+
 (* The level-[s] reports of a table, in deterministic order. *)
 let level_reports table ~me ~level : msg =
   Hashtbl.fold
@@ -49,7 +58,7 @@ let resolve table ~n ~f =
    honestly, by replaying its inbox from the transcript. Used to hand the
    adversarial strategies plausible report material. *)
 let shadow_store g ~me ~initiate transcript =
-  let store = Flood.create g ~me ~initiate () in
+  let store = Flood.create g ~me ~vcompare:compare_msg ~initiate () in
   List.iter
     (fun (round, sender, d) ->
       match d with
@@ -81,12 +90,14 @@ let run ~g ~f ~inputs ~faulty ?(strategy = fun _ -> Strategy.Equivocate)
       Array.init n (fun v ->
           if Nodeset.mem v faulty then
             Engine.Faulty
-              (Strategy.fstep (strategy v) ~g ~me:v ~input:reports.(v)
-                 ~default:[] ~flip:flip_msg
+              (Strategy.fstep (strategy v) ~g ~me:v ~vcompare:compare_msg
+                 ~input:reports.(v) ~default:[] ~flip:flip_msg
                  ~seed:(seed + (1000 * s)))
           else
             Engine.Honest
-              (Flood.proc (Flood.create g ~me:v ~initiate:reports.(v) ())))
+              (Flood.proc
+                 (Flood.create g ~me:v ~vcompare:compare_msg
+                    ~initiate:reports.(v) ())))
     in
     let result =
       Engine.run ~record:true topo ~model:Engine.Point_to_point

@@ -11,14 +11,14 @@ let run_phase ~g ~f ~cap_f ~cap_t ~model ~inputs ~faulty ~strategy ~seed
     Array.init n (fun v ->
         if Nodeset.mem v faulty then
           Engine.Faulty
-            (Strategy.fstep (strategy v) ~g ~me:v ~input:inputs.(v)
-               ~default:Bit.default ~flip:Bit.flip
+            (Strategy.fstep (strategy v) ~g ~me:v ~vcompare:Bit.compare
+               ~input:inputs.(v) ~default:Bit.default ~flip:Bit.flip
                ~seed:(seed + (1000 * phase_idx)))
         else
           Engine.Honest
             (Flood.proc
-               (Flood.create g ~me:v ~initiate:gamma.(v) ~default:Bit.default
-                  ())))
+               (Flood.create g ~me:v ~vcompare:Bit.compare ~initiate:gamma.(v)
+                  ~default:Bit.default ())))
   in
   let result = Engine.run topo ~model ~rounds:(Flood.rounds_needed g) ~roles in
   let gamma' =

@@ -1,38 +1,82 @@
 module Nodeset = Lbc_graph.Nodeset
+module G = Lbc_graph.Graph
+module P = Path_intern
 
 type 'v wire = { value : 'v; path : Lbc_sim.Engine.node_id list }
 
+(* One accepted record. The full delivery path (origin .. me) is kept as
+   its interned id; the two bitset views every acceptance query needs
+   are built once, at accept time, instead of being rebuilt per query. *)
+type 'v record_entry = {
+  origin : int;
+  path_id : P.id;
+  internal : Packing.mask; (* path nodes minus both endpoints *)
+  sans_me : Packing.mask; (* path nodes minus me *)
+  mutable value : 'v;
+}
+
 type 'v store = {
-  g : Lbc_graph.Graph.t;
+  g : G.t;
   me : int;
+  n : int;
   initiate : 'v option;
   default : 'v option;
-  seen : (int * int list, unit) Hashtbl.t; (* rule (ii) keys: sender, wire path *)
-  recs : (int list, 'v) Hashtbl.t; (* full path origin..me -> value *)
+  vcompare : 'v -> 'v -> int;
+  paths : P.t; (* per-store intern table: ids never cross stores *)
+  seen : (int, unit) Hashtbl.t; (* rule (ii) keys: wire-path id * n + sender *)
+  bootstrap : (int, unit) Hashtbl.t;
+      (* neighbours defaulted by the missing-message rule — deliberately
+         NOT in [seen]: a bootstrap entry must never mask a genuine
+         round-1 initiation under rule (ii) *)
+  recs : (P.id, 'v record_entry) Hashtbl.t; (* full-path id -> record *)
+  mutable recs_rev : 'v record_entry list; (* insertion order, newest first *)
+  pcache : Packing.Cache.t;
   mutable defaults_done : bool;
 }
 
-let create g ~me ?initiate ?default () =
+(* Insert-or-update keeps the old Hashtbl.replace semantics: a later
+   acceptance along the same full path overwrites the value (this is how
+   a genuine initiation supersedes a synthesized default). *)
+let record t fid value =
+  match Hashtbl.find_opt t.recs fid with
+  | Some r -> r.value <- value
+  | None ->
+      let full = P.mask t.paths fid in
+      let hd = P.first t.paths fid in
+      let tl = P.last t.paths fid in
+      let sans_me = Packing.remove full t.me in
+      let internal = Packing.remove (Packing.remove full hd) tl in
+      let r = { origin = hd; path_id = fid; internal; sans_me; value } in
+      Hashtbl.replace t.recs fid r;
+      t.recs_rev <- r :: t.recs_rev
+
+let create g ~me ~vcompare ?initiate ?default () =
   let store =
     {
       g;
       me;
+      n = G.size g;
       initiate;
       default;
+      vcompare;
+      paths = P.create g;
       seen = Hashtbl.create 64;
+      bootstrap = Hashtbl.create 8;
       recs = Hashtbl.create 64;
+      recs_rev = [];
+      pcache = Packing.Cache.create ();
       defaults_done = false;
     }
   in
   (match initiate with
-  | Some v -> Hashtbl.replace store.recs [ me ] v
+  | Some v -> record store (P.intern store.paths [ me ]) v
   | None -> ());
   store
 
-let rounds_needed g = Lbc_graph.Graph.size g
+let rounds_needed g = G.size g
 
 let predicted_transmissions g =
-  let n = Lbc_graph.Graph.size g in
+  let n = G.size g in
   let total = ref n in
   for u = 0 to n - 1 do
     for v = 0 to n - 1 do
@@ -42,27 +86,37 @@ let predicted_transmissions g =
     done
   done;
   !total
+
 let me t = t.me
 let graph t = t.g
 let own_value t = t.initiate
 
+(* Rule (ii) keys combine the wire path and the transmitting neighbour
+   into one int. Only valid (interned, in-range) path ids reach this
+   point, so the encoding is injective. *)
+let seen_key t ~pid ~from = (pid * t.n) + from
+
 (* Rules (i)-(iv). [from] is the transmitting neighbour, [round] the
    engine round in which the message arrived. *)
 let handle t ~round ~from (m : 'v wire) =
-  let relayed = m.path @ [ from ] in
+  let pid = P.intern t.paths m.path in
+  let rid = P.extend t.paths pid from in
   (* Rule (i): Π·u must be a simple path of G starting at the originator;
      physically the sender must also be our neighbour; and the timing
-     must be honest — a k-hop annotation arrives exactly in round k+1. *)
+     must be honest — a k-hop annotation arrives exactly in round k+1.
+     The length and the simple-path validity are intern-time facts: no
+     per-message list walk. *)
   if
-    List.length m.path <> round - 1
-    || (not (Lbc_graph.Graph.mem_edge t.g from t.me))
-    || not (Lbc_graph.Graph.is_path t.g relayed)
+    pid = P.invalid
+    || P.length t.paths pid <> round - 1
+    || (not (G.mem_edge t.g from t.me))
+    || not (P.is_path t.paths rid)
   then begin
     Lbc_obs.Obs.incr "flood.reject_path";
     None
   end
   else begin
-    let key = (from, m.path) in
+    let key = seen_key t ~pid ~from in
     if Hashtbl.mem t.seen key then begin
       (* rule (ii): anti-equivocation *)
       Lbc_obs.Obs.incr "flood.dedup_hit";
@@ -70,7 +124,7 @@ let handle t ~round ~from (m : 'v wire) =
     end
     else begin
       Hashtbl.replace t.seen key ();
-      if List.mem t.me m.path then begin
+      if P.mem t.paths pid t.me then begin
         (* rule (iii) *)
         Lbc_obs.Obs.incr "flood.reject_own";
         None
@@ -78,8 +132,8 @@ let handle t ~round ~from (m : 'v wire) =
       else begin
         (* Rule (iv): accept and forward. *)
         Lbc_obs.Obs.incr "flood.accept";
-        Hashtbl.replace t.recs (relayed @ [ t.me ]) m.value;
-        Some { value = m.value; path = relayed }
+        record t (P.extend t.paths rid t.me) m.value;
+        Some { value = m.value; path = P.path t.paths rid }
       end
     end
   end
@@ -93,14 +147,21 @@ let synthesize_defaults t =
     | Some d ->
         List.filter_map
           (fun w ->
-            if Hashtbl.mem t.seen (w, []) then None
+            (* A genuine round-1 initiation by [w] carries the empty wire
+               path, i.e. rule-(ii) key (root, w). Bootstrap entries live
+               in their own table with their own key shape, so they can
+               never mask (or be masked by) a real message. *)
+            if
+              Hashtbl.mem t.seen (seen_key t ~pid:P.root ~from:w)
+              || Hashtbl.mem t.bootstrap w
+            then None
             else begin
               Lbc_obs.Obs.incr "flood.default_synthesized";
-              Hashtbl.replace t.seen (w, []) ();
-              Hashtbl.replace t.recs [ w; t.me ] d;
+              Hashtbl.replace t.bootstrap w ();
+              record t (P.intern t.paths [ w; t.me ]) d;
               Some { value = d; path = [ w ] }
             end)
-          (Lbc_graph.Graph.neighbor_list t.g t.me)
+          (G.neighbor_list t.g t.me)
   end
 
 let proc t : ('v wire, 'v store) Lbc_sim.Engine.proc =
@@ -122,28 +183,34 @@ let proc t : ('v wire, 'v store) Lbc_sim.Engine.proc =
   { step; output = (fun () -> t) }
 
 (* Record order is observable (callers pick first-of-sorted candidates,
-   e.g. Algorithm 2's type-A adoption), so the store traversal must not
-   leak Hashtbl order: sort by the path, which is a unique key of
-   [t.recs]. *)
+   e.g. Algorithm 2's type-A adoption), so sort by the path, which is a
+   unique key of [t.recs]. [recs_rev] is an insertion-ordered list — no
+   Hashtbl traversal is involved anywhere in the query layer. *)
 let records t =
   Lbc_obs.Obs.observe "flood.store_size" (Hashtbl.length t.recs);
-  Hashtbl.fold
-    (fun path v acc ->
-      match path with
-      | origin :: _ -> (origin, path, v) :: acc
-      | [] -> acc)
-    t.recs []
+  List.rev_map
+    (fun r -> (r.origin, P.path t.paths r.path_id, r.value))
+    t.recs_rev
   |> List.sort (fun (_, p, _) (_, q, _) -> Lbc_sim.Det.compare_int_list p q)
 
-let value_along t ~path = Hashtbl.find_opt t.recs path
+let iter_records t f =
+  List.iter
+    (fun r ->
+      f ~origin:r.origin
+        ~path:(P.path t.paths r.path_id)
+        ~sans_me:r.sans_me ~value:r.value)
+    (List.rev t.recs_rev)
+
+let value_along t ~path =
+  match Hashtbl.find_opt t.recs (P.intern t.paths path) with
+  | Some r -> Some r.value
+  | None -> None
 
 let origin_values t ~origin =
-  Hashtbl.fold
-    (fun path v acc ->
-      match path with o :: _ when o = origin -> v :: acc | _ -> acc)
-    t.recs []
-  (* lbclint: disable=D4 'v is instantiated at Bit.t and int only (scalar) *)
-  |> List.sort_uniq compare
+  List.fold_left
+    (fun acc r -> if r.origin = origin then r.value :: acc else acc)
+    [] t.recs_rev
+  |> List.sort_uniq t.vcompare
 
 (* Disjoint-path counting is a packing problem over the *actually
    received* record paths: the paper's "v receives value δ along f+1
@@ -154,64 +221,59 @@ let origin_values t ~origin =
    different records is unsound: a Byzantine forwarder may fabricate the
    prefix of a path annotation, inventing edges between honest nodes.
 
-   Each candidate record is reduced to the bitmask of the nodes that
-   matter for disjointness; the maximum number of pairwise-disjoint masks
-   is computed by depth-limited DFS after removing dominated records
-   (m ⊇ m' can always be replaced by m'). Masks are multi-word bitsets
-   (Packing.mask), so node ids are unbounded. *)
+   Each candidate record contributes the bitset of the nodes that matter
+   for disjointness — precomputed at accept time — and the maximum number
+   of pairwise-disjoint masks is computed by Packing's depth-limited DFS,
+   memoised per store (the graph and the record set only grow, and
+   identical queries recur across rounds and origins). *)
 
-let mask_of_nodes = Packing.mask_of_nodes
-let packing_count masks ~limit = Packing.count masks ~limit
-
-(* Masks of qualifying records: [keep path value] selects records; [mask]
-   maps a path to the node set relevant for disjointness. *)
-let record_masks t ~keep ~mask =
-  (* The mask multiset feeds Packing.count, a maximum-packing size that is
-     invariant under permutation of its input (Packing.count canonicalises
-     with sort_uniq itself), so Hashtbl order cannot leak. *)
-  (* lbclint: disable=D2 order-insensitive consumer, see comment above *)
-  Hashtbl.fold
-    (fun path v acc -> if keep path v then mask path :: acc else acc)
-    t.recs []
+let mask_of_nodeset s = Nodeset.fold (fun x m -> Packing.add m x) s Packing.empty
 
 let disjoint_count t ~origin ~value ?(excluded = Nodeset.empty) ?limit () =
   if origin = t.me then invalid_arg "Flood.disjoint_count: origin = me";
-  let limit =
-    match limit with Some l -> l | None -> Lbc_graph.Graph.size t.g
+  let limit = match limit with Some l -> l | None -> t.n in
+  let ex = mask_of_nodeset excluded in
+  (* uv-paths are internally disjoint: endpoints excluded from the mask,
+     and [excluded] constrains internal nodes only. *)
+  let masks =
+    List.fold_left
+      (fun acc r ->
+        if
+          r.origin = origin
+          && t.vcompare r.value value = 0
+          && Packing.disjoint r.internal ex
+        then r.internal :: acc
+        else acc)
+      [] t.recs_rev
   in
-  let keep path v =
-    v = value
-    && (match path with o :: _ -> o = origin | [] -> false)
-    && Lbc_graph.Graph.path_excludes path excluded
-  in
-  (* uv-paths are internally disjoint: endpoints excluded from the mask. *)
-  let mask path =
-    mask_of_nodes (List.filter (fun x -> x <> origin && x <> t.me) path)
-  in
-  packing_count (record_masks t ~keep ~mask) ~limit
+  Packing.Cache.count t.pcache masks ~limit
 
 let disjoint_count_from_set t ~sources ~value ?(excluded = Nodeset.empty)
     ?limit () =
   let sources = Nodeset.remove t.me sources in
-  let limit =
-    match limit with Some l -> l | None -> Lbc_graph.Graph.size t.g
-  in
-  let keep path v =
-    v = value
-    && (match path with o :: _ -> Nodeset.mem o sources | [] -> false)
-    && Lbc_graph.Graph.path_excludes path excluded
-  in
+  let limit = match limit with Some l -> l | None -> t.n in
+  let ex = mask_of_nodeset excluded in
   (* Uv-paths share only the sink: every node but [me] participates in the
      disjointness mask, which also enforces pairwise-distinct origins. *)
-  let mask path = mask_of_nodes (List.filter (fun x -> x <> t.me) path) in
-  packing_count (record_masks t ~keep ~mask) ~limit
+  let masks =
+    List.fold_left
+      (fun acc r ->
+        if
+          Nodeset.mem r.origin sources
+          && t.vcompare r.value value = 0
+          && Packing.disjoint r.internal ex
+        then r.sans_me :: acc
+        else acc)
+      [] t.recs_rev
+  in
+  Packing.Cache.count t.pcache masks ~limit
 
 let reliable_values ~f t ~origin =
   if origin = t.me then
     match t.initiate with Some v -> [ v ] | None -> []
-  else if Lbc_graph.Graph.mem_edge t.g origin t.me then
-    match Hashtbl.find_opt t.recs [ origin; t.me ] with
-    | Some v -> [ v ]
+  else if G.mem_edge t.g origin t.me then
+    match Hashtbl.find_opt t.recs (P.intern t.paths [ origin; t.me ]) with
+    | Some r -> [ r.value ]
     | None -> []
   else
     List.filter

@@ -36,7 +36,17 @@
     forwarder fabricate path prefixes through honest nodes (see
     DESIGN.md). {!reliable_values} implements Definition C.1 on top.
     The packing masks are multi-word bitsets ({!Packing.mask}), so graph
-    size is not capped by the machine word. *)
+    size is not capped by the machine word.
+
+    Internally every path annotation is interned per store
+    ({!Path_intern}): the rule-(ii) dedup table and the record store key
+    on dense ints, rule (i)'s timing/validity checks read intern-time
+    facts, record node-sets are bitsets built once at accept time, and
+    disjoint-path certificates are memoised per store
+    ({!Packing.Cache}, counters [packing.cache_hit]/[packing.cache_miss]).
+    None of this is observable: records, forwards and query results are
+    byte-identical to the direct list-keyed implementation (a retained
+    reference copy is QCheck-tested against this module). *)
 
 type 'v wire = { value : 'v; path : Lbc_sim.Engine.node_id list }
 (** On-the-wire message: the flooded value and the route up to the
@@ -48,17 +58,22 @@ type 'v store
 val create :
   Lbc_graph.Graph.t ->
   me:int ->
+  vcompare:('v -> 'v -> int) ->
   ?initiate:'v ->
   ?default:'v ->
   unit ->
   'v store
-(** [create g ~me ~initiate ~default ()] prepares a flooding instance at
-    node [me] of graph [g]. When [initiate] is given, [me] floods that
-    value (and records it for itself along the trivial path [[me]]). When
-    [default] is given, neighbours that stay silent in round 0 are deemed
-    to have flooded [default] (the paper's missing-message rule). Omit
-    [default] for floods in which only some nodes initiate (Algorithm 2
-    phase 3). *)
+(** [create g ~me ~vcompare ~initiate ~default ()] prepares a flooding
+    instance at node [me] of graph [g]. [vcompare] is a total order on
+    the flooded values whose equality must coincide with structural
+    equality (e.g. [Bit.compare], [Int.compare]); it replaces the
+    polymorphic comparisons the query layer used to make (lint rule D4)
+    and orders {!origin_values}. When [initiate] is given, [me] floods
+    that value (and records it for itself along the trivial path [[me]]).
+    When [default] is given, neighbours that stay silent in round 0 are
+    deemed to have flooded [default] (the paper's missing-message rule).
+    Omit [default] for floods in which only some nodes initiate
+    (Algorithm 2 phase 3). *)
 
 val proc : 'v store -> ('v wire, 'v store) Lbc_sim.Engine.proc
 (** The honest flooding process for the engine; its output is the store,
@@ -98,7 +113,14 @@ val synthesize_defaults : 'v store -> 'v wire list
 (** Apply the missing-message rule: for every neighbour whose round-0
     initiation has not been received, record the default value and return
     the forwards to broadcast. Called by {!proc} at round 1; exposed for
-    adversarial wrappers. No-op when the store has no default. *)
+    adversarial wrappers. No-op when the store has no default.
+
+    Bootstrap entries are tracked in a dedicated table, {e not} in the
+    rule-(ii) dedup table: a genuine round-1 initiation handled after the
+    defaults were synthesized is still accepted (and supersedes the
+    synthesized record) rather than being masked by a burnt key. Under
+    {!proc} the round-1 inbox is always processed first, so this only
+    matters to adversarial wrappers that reorder the two. *)
 
 (** {1 Queries} *)
 
@@ -113,13 +135,26 @@ val records : 'v store -> (int * int list * 'v) list
     from [origin] to [me] inclusive. Includes the node's own initiation as
     [(me, [me], v)] and synthesized defaults. Order unspecified. *)
 
+val iter_records :
+  'v store ->
+  (origin:int ->
+  path:int list ->
+  sans_me:Packing.mask ->
+  value:'v ->
+  unit) ->
+  unit
+(** Iterate the records in acceptance order (deterministic), handing out
+    the precomputed packing mask of the path's nodes minus [me] alongside
+    each record — for query layers (e.g. Algorithm 2's attribution index)
+    that would otherwise rebuild per-record node sets. *)
+
 val value_along : 'v store -> path:int list -> 'v option
 (** The value received along exactly [path] (origin to [me] inclusive),
     if any. *)
 
 val origin_values : 'v store -> origin:int -> 'v list
-(** Distinct values received from [origin] over any path (structural
-    equality). *)
+(** Distinct values received from [origin] over any path, sorted by the
+    store's [vcompare]. *)
 
 val disjoint_count :
   'v store ->

@@ -61,10 +61,34 @@ let popcount_word w =
 
 let popcount m = Array.fold_left (fun acc w -> acc + popcount_word w) 0 m
 
-let count masks ~limit =
-  if limit <= 0 then 0
+let add m x =
+  if x < 0 then invalid_arg "Packing.add: negative node id";
+  let w = x / bpw in
+  let len = max (Array.length m) (w + 1) in
+  let m' = Array.make len 0 in
+  Array.blit m 0 m' 0 (Array.length m);
+  m'.(w) <- m'.(w) lor (1 lsl (x mod bpw));
+  m'
+
+let remove m x =
+  if not (mem m x) then m
   else begin
-    let masks = List.sort_uniq compare_mask masks in
+    let m' = Array.copy m in
+    m'.(x / bpw) <- m'.(x / bpw) land lnot (1 lsl (x mod bpw));
+    (* Re-canonicalise: clearing the top bit may leave trailing zero
+       words, and canonical form is what makes structural equality equal
+       set equality. *)
+    let len = ref (Array.length m') in
+    while !len > 0 && m'.(!len - 1) = 0 do
+      decr len
+    done;
+    if !len = Array.length m' then m' else Array.sub m' 0 !len
+  end
+
+(* [masks] must already be canonical ([sort_uniq compare_mask]) and
+   [limit] positive; [count] and [Cache.count] are the public fronts. *)
+let count_canonical masks ~limit =
+  begin
     (* The empty mask conflicts with nothing: it always contributes one
        packed element and must not take part in domination (it is a subset
        of everything). *)
@@ -120,3 +144,33 @@ let count masks ~limit =
     bonus + min !best limit
     end
   end
+
+let count masks ~limit =
+  if limit <= 0 then 0
+  else count_canonical (List.sort_uniq compare_mask masks) ~limit
+
+(* Exact memoisation of packing certificates. The key is the canonical
+   mask list plus the search limit (the depth cap changes what the
+   DFS can prove, so it is part of the certificate's identity); lookup
+   equality is structural over the whole key, so a fingerprint collision
+   can never alias two different queries. *)
+module Cache = struct
+  type t = (int * mask list, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let count (c : t) masks ~limit =
+    if limit <= 0 then 0
+    else begin
+      let canon = List.sort_uniq compare_mask masks in
+      match Hashtbl.find_opt c (limit, canon) with
+      | Some r ->
+          Lbc_obs.Obs.incr "packing.cache_hit";
+          r
+      | None ->
+          Lbc_obs.Obs.incr "packing.cache_miss";
+          let r = count_canonical canon ~limit in
+          Hashtbl.replace c (limit, canon) r;
+          r
+    end
+end

@@ -32,8 +32,40 @@ val subset : mask -> mask -> bool
 
 val popcount : mask -> int
 
+val add : mask -> int -> mask
+(** [add m x] is [m ∪ {x}]; [m] is unchanged.
+    @raise Invalid_argument on a negative node id. *)
+
+val remove : mask -> int -> mask
+(** [remove m x] is [m ∖ {x}]; [m] is unchanged (and returned as-is when
+    [x] is absent). *)
+
 val count : mask list -> limit:int -> int
 (** [count masks ~limit] is the maximum number of pairwise-disjoint masks,
     capped at [limit] (the search stops as soon as [limit] disjoint masks
     are found). [0] when [limit <= 0]. Records the number of DFS nodes
     visited in the [packing.dfs_visited] observability counter. *)
+
+(** Per-execution memoisation of packing certificates.
+
+    The graph (and hence the universe of record masks) never changes
+    mid-run, so identical queries recur constantly — across rounds,
+    across the probes of Algorithm 2's fault discovery, and across the
+    per-value acceptance tests. The cache key is the {e canonical} mask
+    list plus the search [limit]; lookups compare the whole key
+    structurally, so a hit always returns exactly what a fresh search
+    would. Hits/misses are tallied in the [packing.cache_hit] /
+    [packing.cache_miss] observability counters (a [limit <= 0] query
+    short-circuits to [0] and counts as neither).
+
+    Caches are per-execution by construction (each flood store and each
+    attribution index creates its own): certificates never leak across
+    scenarios or domains. *)
+module Cache : sig
+  type t
+
+  val create : unit -> t
+
+  val count : t -> mask list -> limit:int -> int
+  (** Same result as {!val:count}, memoised. *)
+end

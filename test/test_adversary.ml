@@ -13,7 +13,9 @@ let check_int = Alcotest.(check int)
 
 let mk kind ~me ?(seed = 0) () =
   let g = B.cycle 5 in
-  (g, S.fstep kind ~g ~me ~input:1 ~default:9 ~flip:(fun v -> -v) ~seed)
+  (g,
+    S.fstep kind ~g ~me ~vcompare:Int.compare ~input:1 ~default:9
+      ~flip:(fun v -> -v) ~seed)
 
 let broadcasts out =
   List.filter_map

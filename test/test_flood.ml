@@ -20,7 +20,7 @@ let wire value path = { Flood.value; path }
 
 let test_rule_i_bad_path () =
   let g = B.cycle 5 in
-  let st = Flood.create g ~me:0 () in
+  let st = Flood.create g ~me:0 ~vcompare:Int.compare () in
   (* 3 is not adjacent to 1, so path [3] relayed by 1 is invalid. *)
   check "invalid path dropped" true
     (Flood.handle st ~round:2 ~from:1 (wire 7 [ 3 ]) = None);
@@ -35,7 +35,7 @@ let test_rule_i_timing () =
   (* Synchronous timing: a k-hop annotation is only acceptable in round
      k+1 — late or early (fabricated) messages are dropped. *)
   let g = B.cycle 5 in
-  let st = Flood.create g ~me:0 () in
+  let st = Flood.create g ~me:0 ~vcompare:Int.compare () in
   check "late initiation dropped" true
     (Flood.handle st ~round:3 ~from:1 (wire 7 []) = None);
   check "early long path dropped" true
@@ -45,7 +45,7 @@ let test_rule_i_timing () =
 
 let test_rule_ii_dedup () =
   let g = B.cycle 5 in
-  let st = Flood.create g ~me:0 () in
+  let st = Flood.create g ~me:0 ~vcompare:Int.compare () in
   (match Flood.handle st ~round:1 ~from:1 (wire 7 []) with
   | Some fwd ->
       check "forwards with sender appended" true
@@ -60,13 +60,13 @@ let test_rule_ii_dedup () =
 
 let test_rule_iii_self_in_path () =
   let g = B.cycle 5 in
-  let st = Flood.create g ~me:0 () in
+  let st = Flood.create g ~me:0 ~vcompare:Int.compare () in
   check "own id in path dropped" true
     (Flood.handle st ~round:5 ~from:4 (wire 7 [ 0; 1; 2; 3 ]) = None)
 
 let test_rule_iv_record () =
   let g = B.cycle 5 in
-  let st = Flood.create g ~me:0 () in
+  let st = Flood.create g ~me:0 ~vcompare:Int.compare () in
   let (_ : int Flood.wire option) =
     Flood.handle st ~round:2 ~from:1 (wire 7 [ 2 ])
   in
@@ -76,13 +76,13 @@ let test_rule_iv_record () =
 
 let test_own_initiation_recorded () =
   let g = B.cycle 5 in
-  let st = Flood.create g ~me:3 ~initiate:42 () in
+  let st = Flood.create g ~me:3 ~vcompare:Int.compare ~initiate:42 () in
   check "own trivial path" true (Flood.value_along st ~path:[ 3 ] = Some 42);
   check "own value" true (Flood.own_value st = Some 42)
 
 let test_synthesize_defaults () =
   let g = B.cycle 5 in
-  let st = Flood.create g ~me:0 ~default:99 () in
+  let st = Flood.create g ~me:0 ~vcompare:Int.compare ~default:99 () in
   (* Neighbour 1 initiated; neighbour 4 stayed silent. *)
   let (_ : int Flood.wire option) = Flood.handle st ~round:1 ~from:1 (wire 7 []) in
   let fwds = Flood.synthesize_defaults st in
@@ -91,8 +91,40 @@ let test_synthesize_defaults () =
   check "default recorded" true (Flood.value_along st ~path:[ 4; 0 ] = Some 99);
   (* Idempotent. *)
   check "second call empty" true (Flood.synthesize_defaults st = []);
-  (* A late initiation by 4 is now ignored (key burnt). *)
-  check "late initiation dropped" true (Flood.handle st ~round:1 ~from:4 (wire 7 []) = None)
+  (* A genuine initiation by 4 handled after the defaults were
+     synthesized is still accepted — bootstrap entries live in their own
+     table and must not burn the rule-(ii) key [(4, ⊥)] — and it
+     supersedes the synthesized record. *)
+  check "late initiation accepted" true
+    (Flood.handle st ~round:1 ~from:4 (wire 7 []) = Some (wire 7 [ 4 ]));
+  check "genuine value supersedes default" true
+    (Flood.value_along st ~path:[ 4; 0 ] = Some 7);
+  (* Rule (ii) still applies to the genuine message itself. *)
+  check "second delivery deduped" true
+    (Flood.handle st ~round:1 ~from:4 (wire 7 []) = None)
+
+(* Regression for the bootstrap-aliasing bug: synthesized defaults used
+   to be inserted into the rule-(ii) dedup table under the same key
+   [(w, ⊥)] as a genuine empty-path initiation, so an adversarially
+   delayed round-1 message from [w] was silently masked and the node was
+   stuck with the default forever. *)
+let test_bootstrap_not_masking () =
+  let g = B.cycle 5 in
+  let st = Flood.create g ~me:0 ~vcompare:Int.compare ~default:99 () in
+  (* Every neighbour silent: both 1 and 4 get the default. *)
+  let fwds = Flood.synthesize_defaults st in
+  check_int "two defaults" 2 (List.length fwds);
+  check "default for 1" true (Flood.value_along st ~path:[ 1; 0 ] = Some 99);
+  (* Crafted message: 1's real initiation arrives only after synthesis. *)
+  check "crafted round-1 message not masked" true
+    (Flood.handle st ~round:1 ~from:1 (wire 123 []) = Some (wire 123 [ 1 ]));
+  check "record overwritten" true
+    (Flood.value_along st ~path:[ 1; 0 ] = Some 123);
+  check "origin values collapse to the genuine one" true
+    (Flood.origin_values st ~origin:1 = [ 123 ]);
+  (* 4 stays on the default. *)
+  check "silent neighbour keeps default" true
+    (Flood.value_along st ~path:[ 4; 0 ] = Some 99)
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end floods on the engine                                      *)
@@ -104,7 +136,8 @@ let run_flood g inputs =
   let roles =
     Array.init n (fun v ->
         Engine.Honest
-          (Flood.proc (Flood.create g ~me:v ~initiate:inputs.(v) ~default:(-1) ())))
+          (Flood.proc (Flood.create g ~me:v ~vcompare:Int.compare ~initiate:inputs.(v)
+                ~default:(-1) ())))
   in
   let r =
     Engine.run topo ~model:Engine.Local_broadcast
@@ -154,7 +187,9 @@ let test_flood_silent_node_defaults () =
         if v = 2 then Engine.Faulty silent
         else
           Engine.Honest
-            (Flood.proc (Flood.create g ~me:v ~initiate:v ~default:(-1) ())))
+            (Flood.proc
+               (Flood.create g ~me:v ~vcompare:Int.compare ~initiate:v
+                  ~default:(-1) ())))
   in
   let r =
     Engine.run topo ~model:Engine.Local_broadcast
@@ -268,7 +303,8 @@ let test_flood_large_graph () =
   let g = B.cycle n in
   let roles =
     Array.init n (fun v ->
-        Engine.Honest (Flood.proc (Flood.create g ~me:v ~initiate:v ())))
+        Engine.Honest
+          (Flood.proc (Flood.create g ~me:v ~vcompare:Int.compare ~initiate:v ())))
   in
   let r =
     Engine.run (Engine.topology_of_graph g) ~model:Engine.Local_broadcast
@@ -332,7 +368,9 @@ let test_fabricated_paths_not_counted () =
         if v = 0 then Engine.Faulty liar
         else
           Engine.Honest
-            (Flood.proc (Flood.create g ~me:v ~initiate:v ~default:(-1) ())))
+            (Flood.proc
+               (Flood.create g ~me:v ~vcompare:Int.compare ~initiate:v
+                  ~default:(-1) ())))
   in
   let r =
     Engine.run topo ~model:Engine.Local_broadcast
@@ -357,7 +395,9 @@ let test_predicted_transmissions () =
       let roles =
         Array.init n (fun v ->
             Engine.Honest
-              (Flood.proc (Flood.create g ~me:v ~initiate:v ~default:(-1) ())))
+              (Flood.proc
+               (Flood.create g ~me:v ~vcompare:Int.compare ~initiate:v
+                  ~default:(-1) ())))
       in
       let r =
         Engine.run topo ~model:Engine.Local_broadcast
@@ -392,14 +432,16 @@ let test_reliable_values_tampered () =
   let topo = Engine.topology_of_graph g in
   let flipper =
     Lbc_adversary.Strategy.fstep Lbc_adversary.Strategy.Flip_forwards ~g ~me:2
-      ~input:20 ~default:(-1) ~flip:(fun v -> -v) ~seed:0
+      ~vcompare:Int.compare ~input:20 ~default:(-1) ~flip:(fun v -> -v) ~seed:0
   in
   let roles =
     Array.init 5 (fun v ->
         if v = 2 then Engine.Faulty flipper
         else
           Engine.Honest
-            (Flood.proc (Flood.create g ~me:v ~initiate:(v * 10) ~default:(-1) ())))
+            (Flood.proc
+               (Flood.create g ~me:v ~vcompare:Int.compare
+                  ~initiate:(v * 10) ~default:(-1) ())))
   in
   let r =
     Engine.run topo ~model:Engine.Local_broadcast
@@ -424,6 +466,8 @@ let () =
           Alcotest.test_case "rule iv" `Quick test_rule_iv_record;
           Alcotest.test_case "own initiation" `Quick test_own_initiation_recorded;
           Alcotest.test_case "defaults" `Quick test_synthesize_defaults;
+          Alcotest.test_case "bootstrap not masking" `Quick
+            test_bootstrap_not_masking;
         ] );
       ( "end to end",
         [

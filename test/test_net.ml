@@ -328,7 +328,7 @@ let flood_under_delay () =
       Array.init n (fun v ->
           Lbc_sim.Engine.Honest
             (Lbc_flood.Flood.proc
-               (Lbc_flood.Flood.create g ~me:v
+               (Lbc_flood.Flood.create g ~me:v ~vcompare:Bit.compare
                   ?initiate:(if v = 0 then Some Bit.One else None)
                   ())))
     in

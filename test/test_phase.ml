@@ -20,7 +20,8 @@ let flood_stores g inputs =
     Array.init n (fun v ->
         Engine.Honest
           (Flood.proc
-             (Flood.create g ~me:v ~initiate:inputs.(v) ~default:Bit.default ())))
+             (Flood.create g ~me:v ~vcompare:Bit.compare ~initiate:inputs.(v)
+                ~default:Bit.default ())))
   in
   let r =
     Engine.run topo ~model:Engine.Local_broadcast
