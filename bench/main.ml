@@ -4,9 +4,9 @@
    Figure 1 (graphs meeting the tight condition), Figures 2-5 / Table 1
    (the necessity gadgets), and the quantitative claims in the text
    (round complexity, phase counts, threshold trade-offs). This harness
-   regenerates each of them as an experiment E1-E16 (see DESIGN.md and
+   regenerates each of them as an experiment E1-E17 (see DESIGN.md and
    EXPERIMENTS.md), then times the core operations with Bechamel
-   (B1-B6), and writes a machine-readable BENCH_8.json (per-experiment
+   (B1-B6), and writes a machine-readable BENCH_9.json (per-experiment
    wall-clock + key obs counters) next to the human tables.
 
    The exhaustive sweeps (E1, E2, E5, E8) are expressed as declarative
@@ -58,12 +58,12 @@ module Campaign = Lbc_campaign
 module Net = Lbc_net.Net
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable results (BENCH_8.json)                             *)
+(* Machine-readable results (BENCH_9.json)                             *)
 (* ------------------------------------------------------------------ *)
 
 (* Alongside the human tables, the harness records each experiment's
    wall-clock and the key obs counters its campaigns accumulated, and
-   writes them as BENCH_8.json — a small, diffable trend signal for the
+   writes them as BENCH_9.json — a small, diffable trend signal for the
    instrumented hot paths (bench/ is not lib/, so top-level refs are
    fine here). *)
 let tracked_counters =
@@ -137,18 +137,7 @@ let write_bench_json path =
 (* Execute a grid on the domain pool; verdicts come back ordered by
    scenario index, i.e. aligned with [Grid.to_array]. *)
 let run_campaign grid =
-  let config =
-    {
-      Campaign.Runner.domains;
-      base_seed = 0;
-      shard_size = 16;
-      checkpoint = None;
-      stop_after = None;
-      progress = None;
-      max_rounds = None;
-      strict = false;
-    }
-  in
+  let config = { Campaign.Runner.default with domains } in
   let scenarios = Campaign.Grid.to_array grid in
   let a = Campaign.Runner.run_exn ~config grid in
   note_artifact_counters a;
@@ -989,6 +978,115 @@ let bechamel_benches () =
       Printf.printf "  %-44s %16s\n" name pretty)
     rows
 
+(* E17: the crash-survivable campaign core under its three stress axes —
+   a straggler grid for the work-stealing scheduler, a kill/resume cycle
+   for the verdict journal, and an overlapping re-run for the result
+   cache. The steal comparison is the acceptance measurement from the
+   robustness PR: on a skewed grid at 4 domains, stealing wall must stay
+   near the critical path (the slowest single scenario) where contiguous
+   blocks serialize whatever shares the straggler's block. *)
+let e17 () =
+  header "E17" "campaign robustness: stealing, kill/resume, result cache";
+  let sizes =
+    (* Eleven cheap cycles and one ~10x straggler; contiguous blocks at
+       4 domains put the straggler plus two cheap scenarios on one
+       worker, stealing lets the other three drain the rest meanwhile. *)
+    if quick then [ 5; 7; 5; 7; 25 ]
+    else [ 5; 7; 9; 5; 7; 9; 5; 7; 9; 5; 7; 25 ]
+  in
+  let skew () = Campaign.Grids.e5 ~sizes () in
+  let run ?journal ?cache ?kill ~steal ~domains grid =
+    let config =
+      {
+        Campaign.Runner.default with
+        domains;
+        steal;
+        journal;
+        cache;
+        kill_after_verdicts = kill;
+      }
+    in
+    Campaign.Runner.run_exn ~config grid
+  in
+  let a_steal = run ~steal:true ~domains:4 (skew ()) in
+  let a_contig = run ~steal:false ~domains:4 (skew ()) in
+  let wall (a : Campaign.Artifact.t) =
+    a.Campaign.Artifact.run.Campaign.Artifact.wall_s
+  in
+  let critical =
+    List.fold_left
+      (fun acc (_, w) -> Float.max acc w)
+      0.0 a_steal.Campaign.Artifact.run.Campaign.Artifact.slowest
+  in
+  (if
+     Campaign.Artifact.deterministic_string a_steal
+     <> Campaign.Artifact.deterministic_string a_contig
+   then failwith "E17: steal/contiguous artifacts diverge");
+  (* Kill/resume: crash after three journaled verdicts (exit path the
+     fuzzer drives through the CLI), then resume from the journal and
+     read the adopted-record count off the artifact. *)
+  let journal = Filename.temp_file "lbc_e17_journal" ".jsonl" in
+  (match
+     run ~journal ~kill:(3, false) ~steal:true ~domains:1 (skew ())
+   with
+  | _ -> failwith "E17: kill point did not fire"
+  | exception Campaign.Journal.Killed _ -> ());
+  let a_resumed = run ~journal ~steal:true ~domains:1 (skew ()) in
+  let recovered =
+    a_resumed.Campaign.Artifact.run.Campaign.Artifact.recovery
+      .Campaign.Artifact.recovered_records
+  in
+  (if
+     Campaign.Artifact.deterministic_string a_resumed
+     <> Campaign.Artifact.deterministic_string a_steal
+   then failwith "E17: resumed artifact diverges from uninterrupted run");
+  (* Result cache: a cold run populates the directory, an overlapping
+     re-run answers every scenario from it. *)
+  let cachedir =
+    let probe = Filename.temp_file "lbc_e17_cache" "" in
+    Sys.remove probe;
+    probe
+  in
+  let a_cold = run ~cache:cachedir ~steal:true ~domains:2 (skew ()) in
+  let a_warm = run ~cache:cachedir ~steal:true ~domains:2 (skew ()) in
+  let info (a : Campaign.Artifact.t) =
+    a.Campaign.Artifact.run.Campaign.Artifact.cache
+  in
+  (if
+     Campaign.Artifact.deterministic_string a_warm
+     <> Campaign.Artifact.deterministic_string a_cold
+   then failwith "E17: cached artifact diverges from cold run");
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat cachedir f))
+       (Sys.readdir cachedir);
+     Sys.rmdir cachedir
+   with Sys_error _ -> ());
+  let steals =
+    a_steal.Campaign.Artifact.run.Campaign.Artifact.steal
+      .Campaign.Artifact.steals
+  in
+  Printf.printf "  %-40s %10s\n" "metric" "value";
+  Printf.printf "  %-40s %9.0fms\n" "wall, stealing (4 domains)"
+    (wall a_steal *. 1e3);
+  Printf.printf "  %-40s %9.0fms\n" "wall, contiguous blocks (4 domains)"
+    (wall a_contig *. 1e3);
+  Printf.printf "  %-40s %9.0fms\n" "critical path (slowest scenario)"
+    (critical *. 1e3);
+  Printf.printf "  %-40s %9.2fx\n" "stealing wall / critical path"
+    (if critical > 0.0 then wall a_steal /. critical else 0.0);
+  Printf.printf "  %-40s %10d\n" "tasks stolen" steals;
+  Printf.printf "  %-40s %10d\n" "journal records adopted on resume" recovered;
+  Printf.printf "  %-40s %10d\n" "cache hits (warm re-run)" (info a_warm).Campaign.Artifact.hits;
+  Printf.printf "  %-40s %10d\n" "cache misses (cold run)" (info a_cold).Campaign.Artifact.misses;
+  current_counters :=
+    [
+      ("cache.hit", (info a_warm).Campaign.Artifact.hits);
+      ("cache.miss", (info a_cold).Campaign.Artifact.misses);
+      ("campaign.steal", steals);
+      ("journal.recovered_records", recovered);
+    ]
+
 (* E16: self-measurement — how long the whole-program lint pass takes
    on the repo's own build tree. The deep pass is a CI gate, so its
    cost is part of the contributor loop; tracking units/findings keeps
@@ -1056,7 +1154,8 @@ let () =
   timed "e13" e13;
   timed "e14" e14;
   timed "e15" e15;
+  timed "e17" e17;
   timed "lint_deep" lint_deep;
   timed "bechamel" bechamel_benches;
-  write_bench_json "BENCH_8.json";
+  write_bench_json "BENCH_9.json";
   Printf.printf "\nAll experiments complete.\n"

@@ -525,8 +525,20 @@ let custom_grid spec f algo =
     ~algos ~placements:Campaign.Grid.placements_up_to_f
     ~strategies:S.kinds_lbc ~inputs:Campaign.Grid.unanimous_inputs ()
 
-let do_campaign exp gspec algo f quick domains seed shard_size out max_shards
-    chaos net max_rounds strict =
+let warn_recovery (r : Campaign.Journal.recovery) =
+  if r.Campaign.Journal.dropped_bytes > 0 then
+    Printf.eprintf
+      "warning: journal recovery truncated %d corrupt byte%s%s (a torn \
+       trailing record is expected after a crash; more suggests corruption)\n"
+      r.Campaign.Journal.dropped_bytes
+      (if r.Campaign.Journal.dropped_bytes = 1 then "" else "s")
+      (match r.Campaign.Journal.first_corrupt with
+      | Some n -> Printf.sprintf " at record %d" n
+      | None -> "")
+
+let do_campaign exp gspec algo f quick domains seed out max_scenarios chaos
+    net max_rounds deadline retries strict no_steal cache no_cache
+    kill_after =
   let grid =
     match (exp, gspec) with
     | Some name, _ -> (
@@ -560,61 +572,89 @@ let do_campaign exp gspec algo f quick domains seed shard_size out max_shards
     {
       Campaign.Runner.domains;
       base_seed = seed;
-      shard_size;
-      checkpoint = Some (out ^ ".progress");
-      stop_after = max_shards;
+      journal = Some (out ^ ".journal");
+      cache = (if no_cache then None else cache);
+      stop_after = max_scenarios;
       progress =
         Some
-          (fun ~done_shards ~total_shards ->
-            Printf.eprintf "\r  shard %d/%d%!" done_shards total_shards);
+          (fun ~done_scenarios ~total ->
+            Printf.eprintf "\r  scenario %d/%d%!" done_scenarios total);
       max_rounds;
+      deadline_s = deadline;
+      retries;
       strict;
+      steal = not no_steal;
+      kill_after_verdicts = Option.map (fun k -> (k, true)) kill_after;
     }
   in
-  let warn_dropped dropped =
-    if dropped > 0 then
-      Printf.eprintf
-        "warning: dropped %d unparseable checkpoint line%s on resume (one \
-         truncated trailing line is expected after a crash; more suggests \
-         corruption)\n"
-        dropped
-        (if dropped = 1 then "" else "s")
-  in
   match Campaign.Runner.run ~config grid with
-  | Campaign.Runner.Partial { completed; total; dropped_lines } ->
+  | exception Campaign.Journal.Killed { appended } ->
+      Printf.eprintf
+        "\nsimulated crash: killed after %d journal append%s; resume with \
+         the same command\n"
+        appended
+        (if appended = 1 then "" else "s");
+      70
+  | Campaign.Runner.Partial { completed; total; recovery } ->
       Printf.eprintf "\n";
-      warn_dropped dropped_lines;
+      warn_recovery recovery;
       Printf.printf
-        "campaign %s interrupted at %d/%d shards; progress saved to %s — \
+        "campaign %s interrupted at %d/%d scenarios; progress saved to %s — \
          re-run the same command to resume\n"
-        grid.Campaign.Grid.name completed total (out ^ ".progress");
+        grid.Campaign.Grid.name completed total (out ^ ".journal");
       0
   | Campaign.Runner.Complete artifact ->
       Printf.eprintf "\n";
-      warn_dropped
-        artifact.Campaign.Artifact.run.Campaign.Artifact.dropped_lines;
+      let run = artifact.Campaign.Artifact.run in
+      warn_recovery
+        {
+          Campaign.Journal.recovered =
+            run.Campaign.Artifact.recovery.Campaign.Artifact.recovered_records;
+          dropped_bytes =
+            run.Campaign.Artifact.recovery.Campaign.Artifact.dropped_bytes;
+          first_corrupt =
+            run.Campaign.Artifact.recovery
+              .Campaign.Artifact.first_corrupt_record;
+          stale = false;
+        };
       Campaign.Artifact.save ~path:out artifact;
       let s = Campaign.Artifact.summarize artifact in
-      Printf.printf "campaign   : %s (%d scenarios, %d shards of %d)\n"
-        artifact.Campaign.Artifact.campaign s.Campaign.Artifact.total
-        ((s.Campaign.Artifact.total + shard_size - 1) / shard_size)
-        shard_size;
-      Printf.printf "domains    : %d  (resumed shards: %d)\n" domains
-        artifact.Campaign.Artifact.run.Campaign.Artifact.resumed_shards;
-      Printf.printf "wall       : %.3f s\n"
-        artifact.Campaign.Artifact.run.Campaign.Artifact.wall_s;
+      Printf.printf "campaign   : %s (%d scenarios)\n"
+        artifact.Campaign.Artifact.campaign s.Campaign.Artifact.total;
+      Printf.printf "domains    : %d  (resumed scenarios: %d, steals: %d)\n"
+        domains run.Campaign.Artifact.resumed_scenarios
+        run.Campaign.Artifact.steal.Campaign.Artifact.steals;
+      (let c = run.Campaign.Artifact.cache in
+       if
+         c.Campaign.Artifact.hits + c.Campaign.Artifact.misses
+         + c.Campaign.Artifact.stores
+         > 0
+       then
+         Printf.printf "cache      : %d hits, %d misses, %d stored\n"
+           c.Campaign.Artifact.hits c.Campaign.Artifact.misses
+           c.Campaign.Artifact.stores);
+      (let r = run.Campaign.Artifact.recovery in
+       if r.Campaign.Artifact.recovered_records > 0 then
+         Printf.printf "recovery   : %d journal records adopted%s\n"
+           r.Campaign.Artifact.recovered_records
+           (if r.Campaign.Artifact.dropped_bytes > 0 then
+              Printf.sprintf ", %d torn bytes truncated"
+                r.Campaign.Artifact.dropped_bytes
+            else ""));
+      Printf.printf "wall       : %.3f s\n" run.Campaign.Artifact.wall_s;
       Printf.printf "summary    : %s\n"
         (Format.asprintf "%a" Campaign.Artifact.pp_summary s);
       Printf.printf "artifact   : %s\n" out;
       List.iter
         (fun (q : Campaign.Artifact.quarantined) ->
-          Printf.printf "quarantined: shard %d: %s\n" q.Campaign.Artifact.shard
+          Printf.printf "quarantined: scenario %d (%s): %s\n"
+            q.Campaign.Artifact.index q.Campaign.Artifact.id
             q.Campaign.Artifact.message)
         artifact.Campaign.Artifact.quarantined;
       let bad =
         s.Campaign.Artifact.violations + s.Campaign.Artifact.crashed
         + s.Campaign.Artifact.timeouts
-        + s.Campaign.Artifact.quarantined_shards
+        + s.Campaign.Artifact.quarantined
       in
       if bad > 0 then begin
         Printf.printf "failures:\n";
@@ -647,17 +687,41 @@ let do_report path fingerprint stats =
       end
       else begin
         let s = Campaign.Artifact.summarize artifact in
+        let run = artifact.Campaign.Artifact.run in
         Printf.printf "campaign   : %s\n" artifact.Campaign.Artifact.campaign;
-        Printf.printf "grid       : %d scenarios, shard size %d, seed %d, \
-                       fingerprint %s\n"
+        Printf.printf "grid       : %d scenarios, seed %d, fingerprint %s\n"
           artifact.Campaign.Artifact.count
-          artifact.Campaign.Artifact.shard_size
           artifact.Campaign.Artifact.base_seed
           artifact.Campaign.Artifact.grid_fingerprint;
-        Printf.printf "run        : %d domains, %.3f s wall, %d resumed shards\n"
-          artifact.Campaign.Artifact.run.Campaign.Artifact.domains
-          artifact.Campaign.Artifact.run.Campaign.Artifact.wall_s
-          artifact.Campaign.Artifact.run.Campaign.Artifact.resumed_shards;
+        Printf.printf
+          "run        : %d domains, %.3f s wall, %d resumed scenarios, %d \
+           steals, %d retried\n"
+          run.Campaign.Artifact.domains run.Campaign.Artifact.wall_s
+          run.Campaign.Artifact.resumed_scenarios
+          run.Campaign.Artifact.steal.Campaign.Artifact.steals
+          run.Campaign.Artifact.steal.Campaign.Artifact.retried;
+        (let c = run.Campaign.Artifact.cache in
+         if
+           c.Campaign.Artifact.hits + c.Campaign.Artifact.misses
+           + c.Campaign.Artifact.stores
+           > 0
+         then
+           Printf.printf "cache      : %d hits, %d misses, %d stored\n"
+             c.Campaign.Artifact.hits c.Campaign.Artifact.misses
+             c.Campaign.Artifact.stores);
+        (let r = run.Campaign.Artifact.recovery in
+         if
+           r.Campaign.Artifact.recovered_records > 0
+           || r.Campaign.Artifact.dropped_bytes > 0
+         then
+           Printf.printf
+             "recovery   : %d journal records adopted, %d torn bytes \
+              truncated%s\n"
+             r.Campaign.Artifact.recovered_records
+             r.Campaign.Artifact.dropped_bytes
+             (match r.Campaign.Artifact.first_corrupt_record with
+             | Some n -> Printf.sprintf " (first corrupt record %d)" n
+             | None -> ""));
         Printf.printf "summary    : %s\n"
           (Format.asprintf "%a" Campaign.Artifact.pp_summary s);
         if stats then begin
@@ -683,8 +747,9 @@ let do_report path fingerprint stats =
               entries);
         List.iter
           (fun (q : Campaign.Artifact.quarantined) ->
-            Printf.printf "quarantined: shard %d: %s\n"
-              q.Campaign.Artifact.shard q.Campaign.Artifact.message)
+            Printf.printf "quarantined: scenario %d (%s): %s\n"
+              q.Campaign.Artifact.index q.Campaign.Artifact.id
+              q.Campaign.Artifact.message)
           artifact.Campaign.Artifact.quarantined;
         Array.iter
           (fun (v : Campaign.Scenario.verdict) ->
@@ -695,7 +760,7 @@ let do_report path fingerprint stats =
         if
           s.Campaign.Artifact.violations + s.Campaign.Artifact.crashed
           + s.Campaign.Artifact.timeouts
-          + s.Campaign.Artifact.quarantined_shards
+          + s.Campaign.Artifact.quarantined
           > 0
         then 1
         else 0
@@ -984,12 +1049,6 @@ let campaign_cmd =
              scenario's RNG seed, so randomised adversaries are \
              reproducible per scenario.")
   in
-  let shard_size =
-    Arg.(
-      value & opt int 16
-      & info [ "shard-size" ] ~docv:"N"
-          ~doc:"Scenarios per shard (the checkpointing granule).")
-  in
   let out =
     Arg.(
       value
@@ -997,13 +1056,13 @@ let campaign_cmd =
       & info [ "out"; "o" ] ~docv:"FILE"
           ~doc:"Artifact path (default campaign-NAME.json).")
   in
-  let max_shards =
+  let max_scenarios =
     Arg.(
       value
       & opt (some int) None
-      & info [ "max-shards" ] ~docv:"N"
+      & info [ "max-scenarios" ] ~docv:"N"
           ~doc:
-            "Stop after completing N new shards, leaving the checkpoint for \
+            "Stop after completing N new scenarios, leaving the journal for \
              a later resume.")
   in
   let chaos =
@@ -1039,6 +1098,25 @@ let campaign_cmd =
              it gets a timeout verdict instead of hanging its worker \
              domain.")
   in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-scenario wall-clock deadline: a watchdog converts an \
+             execution exceeding it into a timeout verdict by cancelling \
+             its round budget. Wall-clock dependent — fingerprints are \
+             only reproducible when no deadline fires.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Infrastructure-failure retries per scenario (with capped \
+             exponential backoff) before quarantining it.")
+  in
   let strict =
     Arg.(
       value & flag
@@ -1048,15 +1126,54 @@ let campaign_cmd =
              timed-out scenario instead of recording a verdict and \
              continuing.")
   in
+  let no_steal =
+    Arg.(
+      value & flag
+      & info [ "no-steal" ]
+          ~doc:
+            "Disable work-stealing: each worker keeps its static \
+             contiguous block of scenarios (the straggler-sensitive \
+             baseline the E17 study measures against).")
+  in
+  let cache =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed result cache: scenarios whose (id, seed, \
+             round budget) key is already present are not re-executed; new \
+             verdicts are stored for future runs. Safe to share between \
+             concurrent campaigns.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Ignore $(b,--cache): execute every scenario afresh.")
+  in
+  let kill_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after-verdicts" ] ~docv:"K"
+          ~doc:
+            "Crash injection (for the recovery test harness): abort with \
+             exit 70 at the K-th journal append of this invocation, \
+             leaving a torn half-record at the journal tail. Resuming must \
+             reproduce the uninterrupted artifact byte-for-byte.")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
-         "Run an experiment campaign (a deterministic scenario grid) on an \
-          OCaml 5 domain pool, with periodic checkpointing and automatic \
-          resume, and write a versioned JSON results artifact.")
+         "Run an experiment campaign (a deterministic scenario grid) on a \
+          work-stealing OCaml 5 domain pool, streaming every verdict to a \
+          crash-survivable journal (automatic resume), and write a \
+          versioned JSON results artifact.")
     Term.(
       const do_campaign $ exp $ gspec $ algo $ f_arg $ quick $ domains $ seed
-      $ shard_size $ out $ max_shards $ chaos $ net $ max_rounds $ strict)
+      $ out $ max_scenarios $ chaos $ net $ max_rounds $ deadline $ retries
+      $ strict $ no_steal $ cache $ no_cache $ kill_after)
 
 let lint_cmd =
   let roots =

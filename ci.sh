@@ -1,11 +1,19 @@
 #!/bin/sh
 # CI entry point: build, run the full test suite, then smoke campaigns
 # exercising the lib/campaign subsystem end-to-end:
-#   - a 2-domain run over the 5-cycle E1 grid whose lbc-campaign/4
+#   - a 2-domain run over the 5-cycle E1 grid whose lbc-campaign/5
 #     artifact must parse, record zero violations and carry a stats
 #     section (`lbcast report` exits non-zero otherwise);
 #   - the same grid on 1 domain, whose fingerprint (the digest of the
 #     deterministic portion, timing excluded) must be byte-identical;
+#   - a crash-recovery gate: three seeded --kill-after-verdicts points
+#     (torn mid-record writes included) must exit 70, leave a journal,
+#     and resume to an artifact fingerprint-identical to the
+#     uninterrupted run;
+#   - a result-cache gate: a warm re-run against the same --cache
+#     directory must answer every scenario from the cache (hits > 0,
+#     zero misses) with an identical fingerprint, and --no-cache must
+#     bypass the directory entirely;
 #   - the n100 grid — one Algorithm 2 scenario on a 100-node cycle,
 #     the regression for the former 62-node packing ceiling;
 #   - the chaos-smoke grid — perturbed runs plus a crashing scenario
@@ -16,12 +24,12 @@
 #   - a perturbed single run whose --stats output must show perturb.*
 #     counters, and a --max-rounds exhaustion that must exit 4;
 #   - an E15 smoke grid under the wan network profile with drop chaos:
-#     the lbc-campaign/4 artifact must carry a simulated-time section
+#     the lbc-campaign/5 artifact must carry a simulated-time section
 #     and fingerprint identically on 1 and 4 domains;
 #   - a perf smoke: two identical E5 runs must fingerprint identically
 #     and show packing.cache_hit > 0 (the certificate cache engages),
-#     and a committed BENCH_8.json must parse as lbc-bench/1;
-#   - migration checks: legacy lbc-campaign/1, /2 and /3 artifacts must
+#     and a committed BENCH_9.json must parse as lbc-bench/1;
+#   - migration checks: legacy lbc-campaign/1 through /4 artifacts must
 #     be rejected with a clear version message, not misparsed.
 set -eu
 
@@ -62,10 +70,10 @@ dune exec bin/lbclint.exe -- --deep --json --baseline lint-baseline \
 grep -q '"exit":0' "$tmp/lint_deep.json" \
   || { echo "FAIL: lbclint --deep reported gating findings"; exit 1; }
 
-echo "== smoke campaign (2 domains) =="
+echo "== smoke campaign (2 domains, populating the result cache) =="
 
 dune exec bin/lbcast.exe -- campaign --exp smoke --domains 2 \
-  --out "$tmp/smoke2.json"
+  --cache "$tmp/rcache" --out "$tmp/smoke2.json"
 
 echo "== verify artifact + stats section =="
 dune exec bin/lbcast.exe -- report --stats "$tmp/smoke2.json" \
@@ -81,6 +89,59 @@ fp2=$(dune exec bin/lbcast.exe -- report --fingerprint "$tmp/smoke2.json")
 [ "$fp1" = "$fp2" ] \
   || { echo "FAIL: fingerprint differs across domain counts"; exit 1; }
 echo "fingerprint $fp1 (1 vs 2 domains)"
+
+echo "== crash recovery: seeded kill points resume byte-identically =="
+# Three kill points (the CLI's injection always tears the record in
+# flight): each run must exit 70 leaving a journal, and the resumed
+# campaign must complete with the uninterrupted run's fingerprint.
+for k in 1 37 150; do
+  set +e
+  dune exec bin/lbcast.exe -- campaign --exp smoke --domains 2 \
+    --kill-after-verdicts "$k" --out "$tmp/crash.json" \
+    > "$tmp/crash_kill.txt" 2>&1
+  kill_rc=$?
+  set -e
+  [ "$kill_rc" -eq 70 ] \
+    || { echo "FAIL: kill point $k exited $kill_rc, want 70";
+         cat "$tmp/crash_kill.txt"; exit 1; }
+  [ -f "$tmp/crash.json.journal" ] \
+    || { echo "FAIL: kill point $k left no journal"; exit 1; }
+  dune exec bin/lbcast.exe -- campaign --exp smoke --domains 4 \
+    --out "$tmp/crash.json" | tee "$tmp/crash_resume.txt"
+  grep -q 'recovery   : ' "$tmp/crash_resume.txt" \
+    || { echo "FAIL: resume after kill $k reported no recovery"; exit 1; }
+  [ ! -f "$tmp/crash.json.journal" ] \
+    || { echo "FAIL: journal not removed after completed resume"; exit 1; }
+  rfp=$(dune exec bin/lbcast.exe -- report --fingerprint "$tmp/crash.json")
+  [ "$rfp" = "$fp1" ] \
+    || { echo "FAIL: resumed fingerprint $rfp != uninterrupted $fp1";
+         exit 1; }
+  echo "kill point $k: recovered, fingerprint $rfp"
+  rm -f "$tmp/crash.json"
+done
+
+echo "== result cache: warm re-run answers from the cache =="
+dune exec bin/lbcast.exe -- campaign --exp smoke --domains 2 \
+  --cache "$tmp/rcache" --out "$tmp/cache_warm.json" \
+  | tee "$tmp/cache_warm.txt"
+cache_hits=$(sed -n 's/^cache      : \([0-9][0-9]*\) hits.*/\1/p' \
+  "$tmp/cache_warm.txt")
+[ "${cache_hits:-0}" -gt 0 ] \
+  || { echo "FAIL: warm re-run reported no cache hits"; exit 1; }
+echo "$cache_hits" | grep -q '^220$' \
+  || { echo "FAIL: warm re-run expected 220 hits, got $cache_hits"; exit 1; }
+grep -q 'cache      : 220 hits, 0 misses' "$tmp/cache_warm.txt" \
+  || { echo "FAIL: warm re-run still executed scenarios"; exit 1; }
+wfp=$(dune exec bin/lbcast.exe -- report --fingerprint "$tmp/cache_warm.json")
+[ "$wfp" = "$fp1" ] \
+  || { echo "FAIL: cached fingerprint $wfp != executed $fp1"; exit 1; }
+dune exec bin/lbcast.exe -- campaign --exp smoke --domains 2 \
+  --cache "$tmp/rcache" --no-cache --out "$tmp/cache_off.json" \
+  | tee "$tmp/cache_off.txt"
+if grep -q '^cache      :' "$tmp/cache_off.txt"; then
+  echo "FAIL: --no-cache still consulted the cache"; exit 1
+fi
+echo "result cache OK: $cache_hits hits, --no-cache bypasses"
 
 echo "== n100 campaign (100-node packing smoke) =="
 dune exec bin/lbcast.exe -- campaign --exp n100 --domains 2 \
@@ -187,26 +248,32 @@ hits=$(awk '/packing\.cache_hit/ { s += $2 } END { print s + 0 }' \
 echo "perf smoke OK: fingerprint $efp1, packing.cache_hit $hits"
 
 echo "== bench results artifact =="
-# The committed BENCH_8.json (written by `dune exec bench/main.exe`) must
-# stay parseable lbc-bench/1; stage it with the other CI artifacts.
-if [ -f BENCH_8.json ]; then
-  grep -q '"format": *"lbc-bench/1"' BENCH_8.json \
-    || { echo "FAIL: BENCH_8.json is not lbc-bench/1"; exit 1; }
-  cp BENCH_8.json "$tmp/BENCH_8.json"
-  echo "BENCH_8.json staged"
+# The committed BENCH_9.json (written by `dune exec bench/main.exe`) must
+# stay parseable lbc-bench/1 and carry the campaign-robustness counters;
+# stage it with the other CI artifacts.
+if [ -f BENCH_9.json ]; then
+  grep -q '"format": *"lbc-bench/1"' BENCH_9.json \
+    || { echo "FAIL: BENCH_9.json is not lbc-bench/1"; exit 1; }
+  for counter in campaign.steal cache.hit cache.miss \
+      journal.recovered_records; do
+    grep -q "\"$counter\"" BENCH_9.json \
+      || { echo "FAIL: BENCH_9.json lacks the $counter counter"; exit 1; }
+  done
+  cp BENCH_9.json "$tmp/BENCH_9.json"
+  echo "BENCH_9.json staged"
 else
-  echo "note: BENCH_8.json absent (bench not yet run on this checkout)"
+  echo "note: BENCH_9.json absent (bench not yet run on this checkout)"
 fi
 
 echo "== legacy artifacts rejected =="
-for v in 1 2 3; do
+for v in 1 2 3 4; do
   printf '{"format":"lbc-campaign/%s","campaign":"old"}\n' "$v" \
     > "$tmp/old.json"
   if dune exec bin/lbcast.exe -- report "$tmp/old.json" 2> "$tmp/old.err"
   then
     echo "FAIL: lbc-campaign/$v artifact was accepted"; exit 1
   fi
-  grep -q 'lbc-campaign/4' "$tmp/old.err" \
+  grep -q 'lbc-campaign/5' "$tmp/old.err" \
     || { echo "FAIL: v$v rejection does not name the expected format";
          exit 1; }
   cat "$tmp/old.err"

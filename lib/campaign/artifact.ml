@@ -1,17 +1,33 @@
+type cache_info = { hits : int; misses : int; stores : int }
+type steal_info = { steals : int; retried : int }
+
+type recovery_info = {
+  recovered_records : int;
+  dropped_bytes : int;
+  first_corrupt_record : int option;
+}
+
 type run_info = {
   domains : int;
   wall_s : float;
-  shard_wall_s : (int * float) list;
-  resumed_shards : int;
-  dropped_lines : int;
+  slowest : (int * float) list;
+  resumed_scenarios : int;
+  cache : cache_info;
+  steal : steal_info;
+  recovery : recovery_info;
 }
 
-type quarantined = { shard : int; message : string }
+type quarantined = { index : int; id : string; message : string }
+
+let no_cache_info = { hits = 0; misses = 0; stores = 0 }
+let no_steal_info = { steals = 0; retried = 0 }
+
+let no_recovery_info =
+  { recovered_records = 0; dropped_bytes = 0; first_corrupt_record = None }
 
 type t = {
   campaign : string;
   count : int;
-  shard_size : int;
   base_seed : int;
   grid_fingerprint : string;
   verdicts : Scenario.verdict array;
@@ -20,11 +36,14 @@ type t = {
   run : run_info;
 }
 
-(* /4: verdicts carry a [sim_ns] simulated wall-time (the network
-   layer's clock; 0 without a profile) and a top-level [sim] section
-   aggregates per-family simulated-time percentiles. /1 .. /3 artifacts
-   are rejected by the format check in [of_string]. *)
-let version = 4
+(* /5: the runner moved from contiguous shards + shard checkpoints to
+   scenario-granular work-stealing over a streaming journal. The grid
+   section drops [shard_size] (scheduling no longer has a deterministic
+   grain), quarantine records name the scenario (index + id) instead of
+   a shard, and the non-deterministic [run] section carries the slowest
+   scenarios plus cache/steal/recovery reports. /1 .. /4 artifacts are
+   rejected by the format check in [of_string]. *)
+let version = 5
 let format_tag = Printf.sprintf "lbc-campaign/%d" version
 
 type summary = {
@@ -38,7 +57,7 @@ type summary = {
   decision_mismatches : int;
   crashed : int;
   timeouts : int;
-  quarantined_shards : int;
+  quarantined : int;
   rounds_max : int;
   transmissions_total : int;
 }
@@ -57,7 +76,7 @@ let summarize t =
         decision_mismatches = 0;
         crashed = 0;
         timeouts = 0;
-        quarantined_shards = List.length t.quarantined;
+        quarantined = List.length t.quarantined;
         rounds_max = 0;
         transmissions_total = 0;
       }
@@ -102,10 +121,10 @@ let pp_summary fmt s =
   Format.fprintf fmt
     "%d scenarios, %d checked, %d ok, %d violations (agreement %d, validity \
      %d, termination %d, decision %d), %d crashed, %d timeouts, %d \
-     quarantined shards; max rounds %d, %d transmissions"
+     quarantined; max rounds %d, %d transmissions"
     s.total s.checked s.ok s.violations s.agreement_failures
     s.validity_failures s.termination_failures s.decision_mismatches s.crashed
-    s.timeouts s.quarantined_shards s.rounds_max s.transmissions_total
+    s.timeouts s.quarantined s.rounds_max s.transmissions_total
 
 (* ------------------------------------------------------------------ *)
 (* Simulated-time aggregation                                          *)
@@ -190,7 +209,6 @@ let grid_fields t =
       Jsonio.Obj
         [
           ("count", Jsonio.Int t.count);
-          ("shard_size", Jsonio.Int t.shard_size);
           ("base_seed", Jsonio.Int t.base_seed);
           ("fingerprint", Jsonio.Str t.grid_fingerprint);
         ] );
@@ -203,7 +221,11 @@ let grid_fields t =
         (List.map
            (fun q ->
              Jsonio.Obj
-               [ ("shard", Jsonio.Int q.shard); ("message", Jsonio.Str q.message) ])
+               [
+                 ("scenario", Jsonio.Int q.index);
+                 ("id", Jsonio.Str q.id);
+                 ("message", Jsonio.Str q.message);
+               ])
            t.quarantined) );
     ( "sim",
       Jsonio.List
@@ -232,7 +254,7 @@ let grid_fields t =
           ("decision_mismatches", Jsonio.Int s.decision_mismatches);
           ("crashed", Jsonio.Int s.crashed);
           ("timeouts", Jsonio.Int s.timeouts);
-          ("quarantined_shards", Jsonio.Int s.quarantined_shards);
+          ("quarantined", Jsonio.Int s.quarantined);
           ("rounds_max", Jsonio.Int s.rounds_max);
           ("transmissions_total", Jsonio.Int s.transmissions_total);
         ] );
@@ -244,14 +266,37 @@ let run_field t =
       [
         ("domains", Jsonio.Int t.run.domains);
         ("wall_s", Jsonio.Float t.run.wall_s);
-        ( "shard_wall_s",
+        ( "slowest",
           Jsonio.List
             (List.map
                (fun (i, w) ->
-                 Jsonio.Obj [ ("shard", Jsonio.Int i); ("s", Jsonio.Float w) ])
-               t.run.shard_wall_s) );
-        ("resumed_shards", Jsonio.Int t.run.resumed_shards);
-        ("dropped_lines", Jsonio.Int t.run.dropped_lines);
+                 Jsonio.Obj
+                   [ ("scenario", Jsonio.Int i); ("s", Jsonio.Float w) ])
+               t.run.slowest) );
+        ("resumed_scenarios", Jsonio.Int t.run.resumed_scenarios);
+        ( "cache",
+          Jsonio.Obj
+            [
+              ("hits", Jsonio.Int t.run.cache.hits);
+              ("misses", Jsonio.Int t.run.cache.misses);
+              ("stores", Jsonio.Int t.run.cache.stores);
+            ] );
+        ( "steal",
+          Jsonio.Obj
+            [
+              ("steals", Jsonio.Int t.run.steal.steals);
+              ("retried", Jsonio.Int t.run.steal.retried);
+            ] );
+        ( "recovery",
+          Jsonio.Obj
+            [
+              ("recovered_records", Jsonio.Int t.run.recovery.recovered_records);
+              ("dropped_bytes", Jsonio.Int t.run.recovery.dropped_bytes);
+              ( "first_corrupt_record",
+                match t.run.recovery.first_corrupt_record with
+                | None -> Jsonio.Null
+                | Some n -> Jsonio.Int n );
+            ] );
       ] )
 
 let to_string t = Jsonio.to_string (Jsonio.Obj (grid_fields t @ [ run_field t ]))
@@ -281,7 +326,6 @@ let of_string s =
       | None -> Error (Printf.sprintf "artifact: missing grid.%s" name)
     in
     let* count = gfield "count" Jsonio.to_int in
-    let* shard_size = gfield "shard_size" Jsonio.to_int in
     let* base_seed = gfield "base_seed" Jsonio.to_int in
     let* grid_fingerprint = gfield "fingerprint" Jsonio.to_str in
     let* vjs = req "verdicts" Jsonio.to_list in
@@ -306,10 +350,11 @@ let of_string s =
           List.filter_map
             (fun q ->
               match
-                ( Option.bind (Jsonio.member "shard" q) Jsonio.to_int,
+                ( Option.bind (Jsonio.member "scenario" q) Jsonio.to_int,
+                  Option.bind (Jsonio.member "id" q) Jsonio.to_str,
                   Option.bind (Jsonio.member "message" q) Jsonio.to_str )
               with
-              | Some shard, Some message -> Some { shard; message }
+              | Some index, Some id, Some message -> Some { index; id; message }
               | _ -> None)
             qs
     in
@@ -319,13 +364,17 @@ let of_string s =
           {
             domains = 0;
             wall_s = 0.0;
-            shard_wall_s = [];
-            resumed_shards = 0;
-            dropped_lines = 0;
+            slowest = [];
+            resumed_scenarios = 0;
+            cache = no_cache_info;
+            steal = no_steal_info;
+            recovery = no_recovery_info;
           }
       | Some r ->
-          let geti name =
-            Option.value ~default:0 (Option.bind (Jsonio.member name r) Jsonio.to_int)
+          let geti ?obj name =
+            let src = Option.value ~default:r obj in
+            Option.value ~default:0
+              (Option.bind (Jsonio.member name src) Jsonio.to_int)
           in
           let getf name =
             Option.value ~default:0.0
@@ -336,28 +385,55 @@ let of_string s =
             (* Timing clamps mirror Checkpoint.load: a clock that stepped
                backwards must never surface as negative wall time. *)
             wall_s = Float.max 0.0 (getf "wall_s");
-            resumed_shards = geti "resumed_shards";
-            dropped_lines = geti "dropped_lines";
-            shard_wall_s =
-              (match Option.bind (Jsonio.member "shard_wall_s" r) Jsonio.to_list with
+            resumed_scenarios = geti "resumed_scenarios";
+            slowest =
+              (match Option.bind (Jsonio.member "slowest" r) Jsonio.to_list with
               | None -> []
               | Some entries ->
                   List.filter_map
                     (fun e ->
                       match
-                        ( Option.bind (Jsonio.member "shard" e) Jsonio.to_int,
+                        ( Option.bind (Jsonio.member "scenario" e) Jsonio.to_int,
                           Option.bind (Jsonio.member "s" e) Jsonio.to_float )
                       with
                       | Some i, Some w -> Some (i, Float.max 0.0 w)
                       | _ -> None)
                     entries);
+            cache =
+              (match Jsonio.member "cache" r with
+              | None -> no_cache_info
+              | Some c ->
+                  {
+                    hits = geti ~obj:c "hits";
+                    misses = geti ~obj:c "misses";
+                    stores = geti ~obj:c "stores";
+                  });
+            steal =
+              (match Jsonio.member "steal" r with
+              | None -> no_steal_info
+              | Some st ->
+                  {
+                    steals = geti ~obj:st "steals";
+                    retried = geti ~obj:st "retried";
+                  });
+            recovery =
+              (match Jsonio.member "recovery" r with
+              | None -> no_recovery_info
+              | Some rc ->
+                  {
+                    recovered_records = geti ~obj:rc "recovered_records";
+                    dropped_bytes = geti ~obj:rc "dropped_bytes";
+                    first_corrupt_record =
+                      Option.bind
+                        (Jsonio.member "first_corrupt_record" rc)
+                        Jsonio.to_int;
+                  });
           }
     in
     Ok
       {
         campaign;
         count;
-        shard_size;
         base_seed;
         grid_fingerprint;
         verdicts;

@@ -1,56 +1,88 @@
 (** Versioned campaign result artifacts.
 
     An artifact records the full outcome of a campaign: the grid identity
-    (name, scenario count, shard size, base seed, grid fingerprint), every
-    scenario verdict in enumeration order, and a [run] section with
-    wall-clock timing and the domain count.
+    (name, scenario count, base seed, grid fingerprint), every scenario
+    verdict in enumeration order, and a [run] section with wall-clock
+    timing, the domain count and the scheduler/cache/recovery reports.
 
     Everything {e except} the [run] section is a pure function of the
     grid and the base seed — {!deterministic_string} renders exactly that
-    part, and is byte-identical across domain counts, scheduling orders
-    and checkpoint/resume boundaries. The [run] section is where all
-    timing and environment variance lives, by construction. *)
+    part, and is byte-identical across domain counts, scheduling orders,
+    work-stealing interleavings, cache states and journal/resume
+    boundaries. The [run] section is where all timing and environment
+    variance lives, by construction. *)
+
+type cache_info = {
+  hits : int;  (** scenarios answered from the result cache *)
+  misses : int;  (** scenarios looked up but absent (then executed) *)
+  stores : int;  (** verdicts persisted to the cache by this run *)
+}
+(** Result-cache tallies. Deliberately in the [run] section: they depend
+    on what happened to be in the cache directory, not on the grid. Zero
+    across the board when no cache is configured. *)
+
+type steal_info = {
+  steals : int;  (** tasks executed by a non-owner worker *)
+  retried : int;  (** retry attempts across all scenarios *)
+}
+
+type recovery_info = {
+  recovered_records : int;  (** journal records adopted on resume *)
+  dropped_bytes : int;  (** torn/corrupt journal tail truncated away *)
+  first_corrupt_record : int option;
+      (** 1-based ordinal of the first corrupt journal record; [None]
+          when the journal was wholly intact *)
+}
 
 type run_info = {
   domains : int;
   wall_s : float;
       (** wall-clock of the completing invocation (monotonic clock,
           clamped at [0.0] on parse) *)
-  shard_wall_s : (int * float) list;
-      (** per-shard wall-clock, in shard order (resumed shards keep the
-          time recorded by the interrupted invocation) *)
-  resumed_shards : int;  (** shards skipped thanks to a checkpoint *)
-  dropped_lines : int;
-      (** unparseable checkpoint lines dropped on resume; one is expected
-          after a mid-append kill, more suggests corruption *)
+  slowest : (int * float) list;
+      (** the slowest scenarios of this invocation as
+          [(index, wall_s)], slowest first — the straggler profile the
+          work-stealing scheduler exists for (resumed/cached scenarios
+          do not appear; their cost was not paid here) *)
+  resumed_scenarios : int;  (** scenarios adopted from the journal *)
+  cache : cache_info;
+  steal : steal_info;
+  recovery : recovery_info;
 }
 
 type quarantined = {
-  shard : int;
+  index : int;  (** scenario index within the grid *)
+  id : string;  (** {!Scenario.id} of the quarantined scenario *)
   message : string;
-      (** exception message of the shard's second (post-retry) failure *)
+      (** exception message of the final (post-retry) failure, prefixed
+          by earlier attempts' messages when they differed *)
 }
-(** A shard whose execution failed twice at the infrastructure level
-    (checkpoint I/O, progress callback, …) and was quarantined by the
-    self-healing runner. Its scenarios appear in [verdicts] as
-    {!Scenario.Crashed} entries, so the verdict array stays complete. *)
+(** A scenario whose execution failed at the infrastructure level
+    (journal I/O, progress callback, …) through every retry and was
+    quarantined by the self-healing runner. It appears in [verdicts] as
+    a {!Scenario.Crashed} entry, so the verdict array stays complete. *)
 
 type t = {
   campaign : string;
   count : int;
-  shard_size : int;
   base_seed : int;
   grid_fingerprint : string;
   verdicts : Scenario.verdict array;  (** sorted by scenario index *)
   stats : Stats.t;
       (** per-algorithm counter aggregates; part of the deterministic
           portion — byte-identical across domain counts *)
-  quarantined : quarantined list;  (** sorted by shard index *)
+  quarantined : quarantined list;  (** sorted by scenario index *)
   run : run_info;
 }
 
 val version : int
 (** Artifact format version; serialized as ["lbc-campaign/<version>"]. *)
+
+val no_cache_info : cache_info
+val no_steal_info : steal_info
+val no_recovery_info : recovery_info
+(** All-zero reports, for callers assembling artifacts outside the
+    runner (tests, legacy conversion). *)
 
 type summary = {
   total : int;
@@ -64,7 +96,7 @@ type summary = {
       (** honest inputs unanimous but the decision differed *)
   crashed : int;  (** {!Scenario.Crashed} verdicts *)
   timeouts : int;  (** {!Scenario.Timed_out} verdicts *)
-  quarantined_shards : int;
+  quarantined : int;
   rounds_max : int;
   transmissions_total : int;
 }

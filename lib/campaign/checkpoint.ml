@@ -84,17 +84,22 @@ let entry_of_json j =
             (convert [] vjs))
   | _ -> None
 
+type load_report = { dropped : int; first_corrupt_line : int option }
+
+let clean_load = { dropped = 0; first_corrupt_line = None }
+
 let load ~path ~header =
   match In_channel.with_open_text path In_channel.input_lines with
-  | exception Sys_error _ -> ([], 0)
-  | [] -> ([], 0)
+  | exception Sys_error _ -> ([], clean_load)
+  | [] -> ([], clean_load)
   | first :: rest -> (
       match Jsonio.of_string first with
       | Ok hj when header_matches header hj ->
           let dropped = ref 0 in
+          let first_corrupt = ref None in
           let entries =
             List.filter_map
-              (fun line ->
+              (fun (lineno, line) ->
                 if String.trim line = "" then None
                 else
                   match
@@ -104,11 +109,15 @@ let load ~path ~header =
                   | Some e -> Some e
                   | None ->
                       incr dropped;
+                      if !first_corrupt = None then
+                        first_corrupt := Some lineno;
                       None)
-              rest
+              (* 1-based file line numbers, counting the header as line 1,
+                 so the reported number is what an editor or sed shows. *)
+              (List.mapi (fun i line -> (i + 2, line)) rest)
           in
-          (entries, !dropped)
-      | _ -> ([], 0))
+          (entries, { dropped = !dropped; first_corrupt_line = !first_corrupt })
+      | _ -> ([], clean_load))
 
 let start ~path ~header =
   let oc = open_out path in

@@ -1,4 +1,7 @@
-(** Crash-safe campaign progress files.
+(** Crash-safe campaign progress files at {e shard} granularity — the
+    legacy format. The runner now records progress per scenario through
+    {!Journal}; this module remains for reading old progress files and as
+    the reference implementation the journal's header handling mirrors.
 
     A checkpoint is a line-oriented file: a header line identifying the
     grid (campaign name, scenario count, shard size, base seed and the
@@ -25,13 +28,20 @@ type entry = {
   stats : Stats.t;  (** per-algo counter aggregates for this shard *)
 }
 
-val load : path:string -> header:header -> entry list * int
-(** Completed shards recorded for exactly this header, plus the number of
-    non-blank lines that failed to parse and were dropped. [([], 0)] when
-    the file does not exist, has a mismatched header, or is unreadable.
-    After a mid-append kill, exactly one dropped (truncated trailing)
-    line is expected; more suggests real corruption — the runner surfaces
-    the count so [lbcast campaign] can warn. *)
+type load_report = {
+  dropped : int;  (** non-blank lines that failed to parse *)
+  first_corrupt_line : int option;
+      (** 1-based file line number of the first dropped line (the header
+          is line 1), so operators can inspect the damage directly *)
+}
+
+val load : path:string -> header:header -> entry list * load_report
+(** Completed shards recorded for exactly this header, plus a report of
+    any dropped lines. [([], clean)] when the file does not exist, has a
+    mismatched header, or is unreadable. After a mid-append kill, exactly
+    one dropped (truncated trailing) line is expected; more suggests real
+    corruption — the report names the first corrupt line number so the
+    damage can be inspected. *)
 
 val start : path:string -> header:header -> unit
 (** Create/truncate the file and write the header line. Call only when

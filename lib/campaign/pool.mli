@@ -1,29 +1,35 @@
 (** A worker pool on OCaml 5 domains.
 
-    Built on the stdlib only ([Domain], [Mutex], [Condition] — domainslib
-    is deliberately not a dependency). Tasks are drawn from a shared
-    queue under a mutex, so scheduling is dynamic (a slow shard does not
-    stall the others), and campaign determinism is unaffected because
-    results are keyed by task, not by completion order.
+    Built on the stdlib only ([Domain], [Mutex], [Condition], [Atomic] —
+    domainslib is deliberately not a dependency). Campaign determinism is
+    unaffected by scheduling because results are keyed by task, not by
+    completion order.
 
-    With [domains <= 1] no domain is spawned and the calling domain
-    drains the queue itself — through {e the same} worker loop and
+    With [domains <= 1] no worker domain is spawned and the calling
+    domain drains the tasks itself — through {e the same} worker loop and
     exception-capture path as spawned workers, so 1-domain and N-domain
-    campaigns fail identically (this used to be a bare [Array.iter] that
-    leaked raw exceptions).
+    campaigns fail identically.
 
-    Two failure disciplines are offered: {!run} aborts on the first task
-    failure ({!Task_failed}, which names the task — a failure used to be
-    re-raised bare, losing which task crashed); {!run_contained} retries
-    each failing task once and quarantines persistent failures, always
-    running every task to completion. *)
+    Three disciplines are offered: {!run} aborts on the first task
+    failure ({!Task_failed}); {!run_contained} retries each failing task
+    once and quarantines persistent failures; {!run_stealing} is the
+    campaign scheduler — per-worker contiguous blocks with tail-stealing
+    (a straggler task no longer idles the other workers behind a shared
+    FIFO's arbitrary interleaving, and a contiguous [steal:false]
+    baseline is measurable against it), capped-exponential-backoff
+    retries with deterministic jitter, an optional per-task deadline
+    watchdog, and a fatal-exception escape for crash injection. *)
 
 type failure = {
   index : int;  (** position of the failing task in [tasks] *)
   description : string;  (** from [describe]; [""] if none given *)
-  message : string;  (** [Printexc.to_string] of the exception *)
-  backtrace : string;  (** captured at the raise, in the worker *)
-  attempts : int;  (** executions attempted (2 after a retry) *)
+  message : string;  (** [Printexc.to_string] of the final exception *)
+  backtrace : string;  (** captured at the final raise, in the worker *)
+  attempts : int;  (** executions attempted (retries + 1) *)
+  prior_messages : string list;
+      (** messages of the earlier failed attempts, oldest first — so a
+          transient-then-different failure is distinguishable from a
+          deterministic one repeating verbatim *)
 }
 
 exception Task_failed of failure
@@ -58,4 +64,51 @@ val run_contained :
     keeps draining the queue. Every task is attempted; the pool never
     poisons. Returns the quarantined failures sorted by task index
     (deterministic: retry happens inline on the worker that saw the
-    failure, so the failure set is independent of scheduling). *)
+    failure, so the failure set is independent of scheduling), each
+    carrying the first attempt's message in [prior_messages]. *)
+
+type steal_report = {
+  steals : int;  (** tasks executed by a non-owner worker *)
+  retried : int;  (** retry attempts across all tasks *)
+}
+
+val run_stealing :
+  ?describe:(int -> 'a -> string) ->
+  ?seed:int ->
+  ?retries:int ->
+  ?backoff_s:float * float ->
+  ?deadline:float * (int -> 'a -> unit) ->
+  ?steal:bool ->
+  ?fatal:(exn -> bool) ->
+  domains:int ->
+  tasks:'a array ->
+  (int -> 'a -> unit) ->
+  steal_report * failure list
+(** The scenario-granular campaign scheduler. Tasks are partitioned into
+    contiguous per-worker blocks; each worker pops its own block from the
+    front and, when empty, steals from the {e back} of other workers'
+    blocks in ring order ([steal], default [true]; [false] gives the
+    static contiguous baseline, for measuring what stealing buys). [f]
+    receives the task's index alongside the task.
+
+    A failing task is retried up to [retries] (default 1) more times,
+    inline on the same worker — so the final failure set is independent
+    of the domain layout — sleeping
+    [min cap (base * 2^(attempt-1)) * jitter] between attempts
+    ([backoff_s] is [(base, cap)], default [(0.001, 0.05)]; the jitter in
+    [0.5, 1.5) is a pure splitmix64 function of [seed], task index and
+    attempt). Tasks still failing are quarantined and returned sorted by
+    index, with earlier attempts' messages in [prior_messages].
+
+    [deadline = (limit_s, on_overdue)] spawns a watchdog domain that
+    calls [on_overdue index task] once per task attempt exceeding
+    [limit_s] of wall time. The callback runs on the watchdog domain and
+    must be domain-safe; the runner uses it to zero the overdue
+    execution's fuel cell, converting the hang into an ordinary timeout
+    verdict. Each retry attempt restarts the task's clock.
+
+    An exception satisfying [fatal] (default: none) aborts the pool:
+    in-flight tasks finish, queued ones are abandoned, every domain is
+    joined, and the exception is re-raised to the caller. The kill-point
+    fuzzer routes {!Journal.Killed} through this to simulate a crash at
+    an exact journal position. *)

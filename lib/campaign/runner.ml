@@ -1,95 +1,168 @@
 type config = {
   domains : int;
   base_seed : int;
-  shard_size : int;
-  checkpoint : string option;
+  journal : string option;
+  cache : string option;
   stop_after : int option;
-  progress : (done_shards:int -> total_shards:int -> unit) option;
+  progress : (done_scenarios:int -> total:int -> unit) option;
   max_rounds : int option;
+  deadline_s : float option;
+  retries : int;
   strict : bool;
+  steal : bool;
+  kill_after_verdicts : (int * bool) option;
 }
 
 let default =
   {
     domains = 1;
     base_seed = 0;
-    shard_size = 16;
-    checkpoint = None;
+    journal = None;
+    cache = None;
     stop_after = None;
     progress = None;
     max_rounds = None;
+    deadline_s = None;
+    retries = 1;
     strict = false;
+    steal = true;
+    kill_after_verdicts = None;
   }
 
 type outcome =
   | Complete of Artifact.t
-  | Partial of { completed : int; total : int; dropped_lines : int }
+  | Partial of { completed : int; total : int; recovery : Journal.recovery }
 
 let now = Clock.now_s
 
+(* The watchdog's budget when no --max-rounds is set: large enough that
+   fuel alone never fires, small enough that zeroing the cell stops the
+   engine within one round. *)
+let watchdog_budget = 1_000_000
+
 let run ?(config = default) grid =
   let config =
-    {
-      config with
-      domains = max 1 config.domains;
-      shard_size = max 1 config.shard_size;
-    }
+    { config with domains = max 1 config.domains; retries = max 0 config.retries }
   in
   let started = now () in
   let scenarios = Grid.to_array grid in
-  let shards = Grid.shards ~shard_size:config.shard_size scenarios in
-  let total_shards = Array.length shards in
+  let total = Array.length scenarios in
   let fingerprint = Grid.fingerprint scenarios in
+  let budget = Option.value ~default:0 config.max_rounds in
   let header =
     {
-      Checkpoint.campaign = grid.Grid.name;
-      count = Array.length scenarios;
-      shard_size = config.shard_size;
+      Journal.campaign = grid.Grid.name;
+      count = total;
       base_seed = config.base_seed;
+      budget;
       fingerprint;
     }
   in
-  (* Resume: slot in every shard already recorded for this exact grid. *)
-  let results : Checkpoint.entry option array = Array.make total_shards None in
-  let resumed, dropped_lines =
-    match config.checkpoint with
-    | None -> (0, 0)
+  (* Resume: adopt every journaled verdict for this exact grid identity.
+     Slots are keyed by scenario index; first record wins (duplicates can
+     only arise from a resumed run racing a kill, and are identical). *)
+  let slots : Journal.record option array = Array.make total None in
+  let recovery, writer =
+    match config.journal with
+    | None -> (Journal.no_recovery, None)
     | Some path ->
-        let prior, dropped = Checkpoint.load ~path ~header in
+        let records, recovery = Journal.recover ~path ~header in
         List.iter
-          (fun (e : Checkpoint.entry) ->
-            if e.Checkpoint.shard >= 0 && e.Checkpoint.shard < total_shards
-            then results.(e.Checkpoint.shard) <- Some e)
-          prior;
-        let n = Array.fold_left (fun k r -> if r = None then k else k + 1) 0 results in
-        if n = 0 then Checkpoint.start ~path ~header;
-        (n, dropped)
+          (fun (r : Journal.record) ->
+            if r.Journal.index >= 0 && r.Journal.index < total
+               && slots.(r.Journal.index) = None
+            then slots.(r.Journal.index) <- Some r)
+          records;
+        let kill =
+          Option.map
+            (fun (after, torn) -> { Journal.after; torn })
+            config.kill_after_verdicts
+        in
+        (recovery, Some (Journal.open_writer ~path ~header ?kill ()))
+  in
+  let resumed =
+    Array.fold_left (fun k r -> if r = None then k else k + 1) 0 slots
   in
   let pending =
     Array.of_list
       (List.filter_map
-         (fun (i, scen) -> if results.(i) = None then Some (i, scen) else None)
-         (Array.to_list shards))
+         (fun i -> if slots.(i) = None then Some i else None)
+         (List.init total Fun.id))
   in
   let pending =
     match config.stop_after with
     | Some k when k < Array.length pending -> Array.sub pending 0 (max 0 k)
     | _ -> pending
   in
-  (* The sink serializes result slotting, checkpoint appends and progress
-     reporting across worker domains. *)
+  let cache =
+    match config.cache with
+    | None -> None
+    | Some dir -> Some (Cache.create ~dir)
+  in
+  (* Fuel-cell registry: scenario index → the live fuel counter of the
+     worker executing it. The watchdog zeroes an overdue scenario's cell
+     from its own domain, turning the hang into Fuel_exhausted — and so
+     into the ordinary Timed_out verdict — on the worker. *)
+  let cells_mutex = Mutex.create () in
+  let cells : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let with_registered_fuel i thunk =
+    match (config.max_rounds, config.deadline_s) with
+    | None, None -> thunk ()
+    | _ ->
+        let fuel =
+          match config.max_rounds with
+          | Some b -> b
+          | None -> watchdog_budget
+        in
+        Lbc_sim.Engine.with_fuel ~budget:fuel (fun () ->
+            (match Lbc_sim.Engine.current_fuel_cell () with
+            | Some cell ->
+                Mutex.lock cells_mutex;
+                Hashtbl.replace cells i cell;
+                Mutex.unlock cells_mutex
+            | None -> ());
+            Fun.protect
+              ~finally:(fun () ->
+                Mutex.lock cells_mutex;
+                Hashtbl.remove cells i;
+                Mutex.unlock cells_mutex)
+              thunk)
+  in
+  let on_overdue _pos i =
+    Mutex.lock cells_mutex;
+    (match Hashtbl.find_opt cells i with
+    | Some cell -> cell := 0
+    | None -> ());
+    Mutex.unlock cells_mutex
+  in
+  (* The sink serializes slot filling, journal appends and progress
+     snapshots across worker domains. *)
   let sink = Mutex.create () in
-  let done_shards = ref resumed in
-  let exec_shard (i, (scen : Scenario.t array)) =
-    let t0 = now () in
-    let base = i * config.shard_size in
-    let stats = ref Stats.empty in
-    let verdicts =
-      Array.mapi
-        (fun j s ->
+  let done_count = ref resumed in
+  let exec i =
+    let s = scenarios.(i) in
+    let key =
+      Cache.key ~id:(Scenario.id s) ~base_seed:config.base_seed ~budget
+    in
+    let record =
+      match Option.bind cache (fun c -> Cache.find c ~key) with
+      | Some (e : Cache.entry) ->
+          (* A hit replays the stored verdict; only the index is
+             positional and is remapped to this grid. wall_s is 0: the
+             execution cost was not paid by this run. *)
+          {
+            Journal.index = i;
+            wall_s = 0.0;
+            algo = e.Cache.algo;
+            counters = e.Cache.counters;
+            verdict = { e.Cache.verdict with Scenario.index = i };
+          }
+      | None ->
+          let t0 = now () in
           let v, counters =
-            Scenario.execute_observed ~base_seed:config.base_seed
-              ?max_rounds:config.max_rounds ~index:(base + j) s
+            with_registered_fuel i (fun () ->
+                Scenario.execute_observed ~base_seed:config.base_seed ~index:i
+                  s)
           in
           (* Strict mode re-raises contained failures so they poison the
              pool — the fail-fast discipline, with the scenario id in the
@@ -104,128 +177,142 @@ let run ?(config = default) grid =
              | Scenario.Crashed { exn; _ } ->
                  failwith
                    (Printf.sprintf "scenario %s crashed: %s" v.Scenario.id exn));
-          stats :=
-            Stats.merge !stats
-              (Stats.single ~algo:(Scenario.algo_name s.Scenario.algo) counters);
-          v)
-        scen
+          let wall = now () -. t0 in
+          (match cache with
+          | Some c -> (
+              (* Watchdog-induced timeouts are wall-clock accidents, not
+                 content-derived verdicts — caching one would poison
+                 future runs with this machine's scheduling luck. *)
+              match (v.Scenario.status, config.deadline_s) with
+              | Scenario.Timed_out _, Some _ -> ()
+              | _ ->
+                  Cache.store c ~key
+                    {
+                      Cache.algo = Scenario.algo_name s.Scenario.algo;
+                      counters;
+                      verdict = v;
+                    })
+          | None -> ());
+          {
+            Journal.index = i;
+            wall_s = wall;
+            algo = Scenario.algo_name s.Scenario.algo;
+            counters;
+            verdict = v;
+          }
     in
-    let entry =
-      {
-        Checkpoint.shard = i;
-        wall_s = now () -. t0;
-        verdicts;
-        stats = !stats;
-      }
-    in
-    (* The critical section must unlock on any exception (a raising
-       progress callback or checkpoint I/O error used to leave the mutex
-       held, deadlocking the surviving workers instead of letting the
-       pool's poison propagate). The user progress callback runs outside
-       the lock, on a snapshot taken under it.
-
-       Recording is idempotent: a retried shard whose first attempt
-       already recorded (i.e. the failure was post-record — a raising
-       callback or checkpoint write) must not double-count the shard or
-       append a duplicate checkpoint line, and its callback is not
-       replayed. *)
+    (* The critical section must unlock on any exception (journal I/O
+       errors and the kill shim both raise mid-append). Recording is
+       idempotent: a retried scenario whose first attempt already
+       recorded must not double-count, re-append or replay its progress
+       callback. The user progress callback runs outside the lock, on a
+       snapshot taken under it. *)
     Mutex.lock sink;
     let snapshot =
       Fun.protect
         ~finally:(fun () -> Mutex.unlock sink)
         (fun () ->
-          if results.(i) = None then begin
-            results.(i) <- Some entry;
-            incr done_shards;
-            (match config.checkpoint with
-            | Some path -> Checkpoint.append ~path entry
+          if slots.(i) = None then begin
+            slots.(i) <- Some record;
+            incr done_count;
+            (match writer with
+            | Some w -> Journal.append w record
             | None -> ());
-            Some !done_shards
+            Some !done_count
           end
           else None)
     in
     match (snapshot, config.progress) with
-    | Some snap, Some f -> f ~done_shards:snap ~total_shards
+    | Some snap, Some f -> f ~done_scenarios:snap ~total
     | _ -> ()
   in
-  let describe _task_index (i, (scen : Scenario.t array)) =
-    Printf.sprintf "shard %d: %s" i
-      (String.concat ", " (Array.to_list (Array.map Scenario.id scen)))
+  let describe _pos i =
+    Printf.sprintf "scenario %d: %s" i (Scenario.id scenarios.(i))
   in
-  let quarantined =
+  Fun.protect ~finally:(fun () -> Option.iter Journal.close writer)
+  @@ fun () ->
+  let steal_report, quarantined =
     if config.strict then begin
-      Pool.run ~describe ~domains:config.domains ~tasks:pending exec_shard;
-      []
+      Pool.run ~describe ~domains:config.domains ~tasks:pending exec;
+      ({ Pool.steals = 0; retried = 0 }, [])
     end
     else
-      (* Self-healing: each failing shard is retried once; a shard that
-         fails twice is quarantined and its scenarios recorded as
-         crashed, so the campaign still completes. *)
-      List.map
-        (fun (fl : Pool.failure) ->
-          let i, scen = pending.(fl.Pool.index) in
-          let base = i * config.shard_size in
-          let verdicts =
-            Array.mapi
-              (fun j s ->
-                let seed = Scenario.scenario_seed ~base:config.base_seed s in
-                {
-                  Scenario.index = base + j;
-                  id = Scenario.id s;
-                  status =
-                    Scenario.Crashed
-                      {
-                        exn = fl.Pool.message;
-                        (* Pool-level backtraces depend on the worker's
-                           call stack (1-domain vs N-domain differ); the
-                           deterministic portion carries none. *)
-                        backtrace = "";
-                        repro = Scenario.repro_command s ~seed;
-                      };
-                  ok = false;
-                  agreement = false;
-                  validity = false;
-                  termination = false;
-                  decision = None;
-                  expected = None;
-                  rounds = 0;
-                  phases = 0;
-                  transmissions = 0;
-                  deliveries = 0;
-                  sim_ns = 0;
-                  counterexample = None;
-                })
-              scen
-          in
-          (if results.(i) = None then
-             let entry =
-               { Checkpoint.shard = i; wall_s = 0.0; verdicts; stats = Stats.empty }
-             in
-             results.(i) <- Some entry);
-          { Artifact.shard = i; message = fl.Pool.message })
-        (Pool.run_contained ~describe ~domains:config.domains ~tasks:pending
-           exec_shard)
+      let report, failures =
+        Pool.run_stealing ~describe ~seed:config.base_seed
+          ~retries:config.retries
+          ?deadline:
+            (Option.map (fun limit -> (limit, on_overdue)) config.deadline_s)
+          ~steal:config.steal
+          ~fatal:(function Journal.Killed _ -> true | _ -> false)
+          ~domains:config.domains ~tasks:pending
+          (fun _pos i -> exec i)
+      in
+      (* Quarantine at scenario granularity: the failing scenario gets a
+         deterministic crash-record verdict; every other scenario is
+         unaffected. Quarantined verdicts are deliberately NOT journaled
+         — a resumed run gets a fresh chance at them. *)
+      let quarantined =
+        List.map
+          (fun (fl : Pool.failure) ->
+            let i = pending.(fl.Pool.index) in
+            let s = scenarios.(i) in
+            let id = Scenario.id s in
+            let message =
+              match fl.Pool.prior_messages with
+              | [] -> fl.Pool.message
+              | prior -> String.concat "; then " (prior @ [ fl.Pool.message ])
+            in
+            (if slots.(i) = None then
+               let seed = Scenario.scenario_seed ~base:config.base_seed s in
+               let verdict =
+                 Scenario.crashed_verdict ~index:i ~id
+                   ~repro:(Scenario.repro_command s ~seed) ~message
+               in
+               slots.(i) <-
+                 Some
+                   {
+                     Journal.index = i;
+                     wall_s = 0.0;
+                     algo = Scenario.algo_name s.Scenario.algo;
+                     counters = [];
+                     verdict;
+                   });
+            { Artifact.index = i; id; message })
+          failures
+      in
+      (report, quarantined)
   in
-  if Array.exists (( = ) None) results then
-    Partial { completed = !done_shards; total = total_shards; dropped_lines }
+  if Array.exists (( = ) None) slots then
+    Partial { completed = !done_count; total; recovery }
   else begin
-    let entries = Array.map Option.get results in
-    let verdicts =
-      Array.concat
-        (Array.to_list (Array.map (fun e -> e.Checkpoint.verdicts) entries))
-    in
-    (* Stats merge in shard order — but merging is commutative, so any
-       order (and any resume split) yields the same aggregate. *)
+    let records = Array.map Option.get slots in
+    let verdicts = Array.map (fun r -> r.Journal.verdict) records in
+    (* Stats merge in scenario order — but merging is commutative, so any
+       order (and any resume/steal split) yields the same aggregate. *)
     let stats =
       Array.fold_left
-        (fun acc e -> Stats.merge acc e.Checkpoint.stats)
-        Stats.empty entries
+        (fun acc (r : Journal.record) ->
+          Stats.merge acc (Stats.single ~algo:r.Journal.algo r.Journal.counters))
+        Stats.empty records
+    in
+    let slowest =
+      let timed =
+        List.filter
+          (fun (_, w) -> w > 0.0)
+          (Array.to_list
+             (Array.map
+                (fun (r : Journal.record) -> (r.Journal.index, r.Journal.wall_s))
+                records))
+      in
+      let cmp (i1, w1) (i2, w2) =
+        match Float.compare w2 w1 with 0 -> Int.compare i1 i2 | c -> c
+      in
+      List.filteri (fun k _ -> k < 8) (List.sort cmp timed)
     in
     let artifact =
       {
         Artifact.campaign = grid.Grid.name;
-        count = Array.length scenarios;
-        shard_size = config.shard_size;
+        count = total;
         base_seed = config.base_seed;
         grid_fingerprint = fingerprint;
         verdicts;
@@ -235,16 +322,35 @@ let run ?(config = default) grid =
           {
             Artifact.domains = config.domains;
             wall_s = now () -. started;
-            shard_wall_s =
-              Array.to_list
-                (Array.map (fun e -> (e.Checkpoint.shard, e.Checkpoint.wall_s)) entries);
-            resumed_shards = resumed;
-            dropped_lines;
+            slowest;
+            resumed_scenarios = resumed;
+            cache =
+              (match cache with
+              | None -> Artifact.no_cache_info
+              | Some c ->
+                  {
+                    Artifact.hits = Cache.hits c;
+                    misses = Cache.misses c;
+                    stores = Cache.stores c;
+                  });
+            steal =
+              {
+                Artifact.steals = steal_report.Pool.steals;
+                retried = steal_report.Pool.retried;
+              };
+            recovery =
+              {
+                Artifact.recovered_records = recovery.Journal.recovered;
+                dropped_bytes = recovery.Journal.dropped_bytes;
+                first_corrupt_record = recovery.Journal.first_corrupt;
+              };
           };
       }
     in
-    (match config.checkpoint with
-    | Some path -> Checkpoint.remove ~path
+    (match config.journal with
+    | Some path ->
+        Option.iter Journal.close writer;
+        Journal.remove ~path
     | None -> ());
     Complete artifact
   end
@@ -252,7 +358,16 @@ let run ?(config = default) grid =
 let run_exn ?config grid =
   match run ?config grid with
   | Complete a -> a
-  | Partial { completed; total; dropped_lines = _ } ->
+  | Partial { completed; total; recovery } ->
+      let damage =
+        if recovery.Journal.dropped_bytes > 0 then
+          Printf.sprintf "; journal recovery dropped %d bytes%s"
+            recovery.Journal.dropped_bytes
+            (match recovery.Journal.first_corrupt with
+            | Some n -> Printf.sprintf " at record %d" n
+            | None -> "")
+        else ""
+      in
       failwith
-        (Printf.sprintf "campaign %s stopped at %d/%d shards" grid.Grid.name
-           completed total)
+        (Printf.sprintf "campaign %s stopped at %d/%d scenarios%s"
+           grid.Grid.name completed total damage)

@@ -287,6 +287,35 @@ let failed_verdict ~index s status =
     counterexample = None;
   }
 
+let crashed_verdict ~index ~id ~repro ~message =
+  {
+    index;
+    id;
+    status =
+      Crashed
+        {
+          exn = message;
+          (* Runner-level crash records carry no backtrace: the frames
+             would reflect the worker's call stack (1-domain vs N-domain
+             differ), and this verdict lives in the deterministic portion
+             of the artifact. *)
+          backtrace = "";
+          repro;
+        };
+    ok = false;
+    agreement = false;
+    validity = false;
+    termination = false;
+    decision = None;
+    expected = None;
+    rounds = 0;
+    phases = 0;
+    transmissions = 0;
+    deliveries = 0;
+    sim_ns = 0;
+    counterexample = None;
+  }
+
 let execute ?(base_seed = 0) ?max_rounds ~index s =
   (* Backtrace recording is per-domain runtime state and is off in
      freshly spawned domains, so without forcing it on here a crashed

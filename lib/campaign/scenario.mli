@@ -118,6 +118,15 @@ type verdict = {
           command line *)
 }
 
+val crashed_verdict :
+  index:int -> id:string -> repro:string -> message:string -> verdict
+(** The deterministic crash-record verdict the runner writes when it
+    quarantines a scenario whose {e execution machinery} (not the
+    scenario itself) failed repeatedly: status {!Crashed} with [message]
+    as the exception text, the given reproduction command, and an empty
+    backtrace — worker call stacks differ across domain counts, and this
+    verdict lives in the artifact's byte-comparable portion. *)
+
 val execute : ?base_seed:int -> ?max_rounds:int -> index:int -> t -> verdict
 (** Build a fresh graph and run the scenario to a verdict. [base_seed]
     (default 0) feeds {!scenario_seed}. [max_rounds] installs a fuel

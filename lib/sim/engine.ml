@@ -83,6 +83,11 @@ let consume_fuel n =
       r := !r - n;
       if !r < 0 then raise (Fuel_exhausted { budget })
 
+let current_fuel_cell () =
+  match Domain.DLS.get fuel_key with
+  | None -> None
+  | Some (_, r) -> Some r
+
 (* ------------------------------------------------------------------ *)
 (* Plain path: perfect synchronous delivery                            *)
 (* ------------------------------------------------------------------ *)

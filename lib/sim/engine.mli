@@ -141,3 +141,13 @@ val check_fuel : unit -> unit
     algorithm drivers to call between engine runs (e.g. at phase-loop
     heads), so multi-phase algorithms stop promptly rather than starting
     another full [run]. No-op without a budget. *)
+
+val current_fuel_cell : unit -> int ref option
+(** The live fuel counter installed by the innermost {!with_fuel} on the
+    calling domain, if any. The campaign runner's deadline watchdog holds
+    this cell and zeroes it {e from another domain} to cancel an overdue
+    execution: the next [consume_fuel]/[check_fuel] on the running domain
+    then raises {!Fuel_exhausted} with the installed budget, turning a
+    hung execution into an ordinary timeout verdict. The cross-domain
+    write is a benign race on an immediate [int] — the worst outcome is
+    one extra round before the raise. *)

@@ -290,23 +290,152 @@ let test_pool_contained_retry_heals_transient () =
   in
   check_int "transient failure healed silently" 0 (List.length failures)
 
+(* Satellite regression: a quarantine after a transient-then-different
+   failure must surface both attempts' messages, not just the last. *)
+let test_pool_contained_records_prior_messages () =
+  let first = Atomic.make true in
+  let failures =
+    C.Pool.run_contained ~domains:1
+      ~tasks:(Array.init 4 (fun i -> i))
+      (fun i ->
+        if i = 1 then
+          if Atomic.exchange first false then failwith "transient I/O"
+          else failwith "persistent")
+  in
+  match failures with
+  | [ fl ] ->
+      check_str "final message" "Failure(\"persistent\")" fl.C.Pool.message;
+      check "first attempt's message kept" true
+        (fl.C.Pool.prior_messages = [ "Failure(\"transient I/O\")" ]);
+      check_int "two attempts" 2 fl.C.Pool.attempts
+  | fls -> Alcotest.failf "expected 1 failure, got %d" (List.length fls)
+
+let test_stealing_executes_all () =
+  List.iter
+    (fun (domains, steal) ->
+      let n = 47 in
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      let report, failures =
+        C.Pool.run_stealing ~steal ~domains
+          ~tasks:(Array.init n (fun i -> i))
+          (fun pos i ->
+            check_int "position matches task" i pos;
+            Atomic.incr hits.(i))
+      in
+      check
+        (Printf.sprintf "exactly once (domains=%d steal=%b)" domains steal)
+        true
+        (Array.for_all (fun h -> Atomic.get h = 1) hits);
+      check_int "no failures" 0 (List.length failures);
+      if not steal then
+        check_int "contiguous baseline never steals" 0 report.C.Pool.steals)
+    [ (1, true); (4, true); (1, false); (4, false) ]
+
+(* Satellite property: the stealing pool under contention — random task
+   counts, domain counts, deterministic failure sets and an optional
+   poison (fatal) task. Must never deadlock (the test completing is the
+   assertion), must run every task at most retries+1 and — absent poison
+   — non-failing tasks exactly once, and must report failures sorted by
+   task index with the earlier attempt's message preserved. *)
+exception Poison
+
+let prop_stealing_poison_and_exactly_once =
+  QCheck.Test.make
+    ~name:"stealing pool: poison broadcast, exactly-once, sorted failures"
+    ~count:40
+    QCheck.(
+      triple (int_range 1 60) (int_range 1 6) (pair (int_range 0 63) bool))
+    (fun (n, domains, (mask, poison)) ->
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      let fails i = (mask lsr (i mod 6)) land 1 = 1 in
+      let poison_at = if poison then Some (n / 2) else None in
+      let f _pos i =
+        Atomic.incr hits.(i);
+        if poison_at = Some i then raise Poison;
+        if fails i then failwith "task failure"
+      in
+      match
+        C.Pool.run_stealing ~seed:mask ~retries:1 ~backoff_s:(0.0001, 0.001)
+          ~fatal:(function Poison -> true | _ -> false)
+          ~domains
+          ~tasks:(Array.init n (fun i -> i))
+          f
+      with
+      | exception Poison ->
+          (* the fatal exception was broadcast: the pool unwound (we got
+             here), and no task ran beyond its retry allowance *)
+          poison_at <> None
+          && Array.for_all (fun h -> Atomic.get h <= 2) hits
+      | _report, failures ->
+          poison_at = None
+          && List.map (fun (fl : C.Pool.failure) -> fl.C.Pool.index) failures
+             = List.filter fails (List.init n Fun.id)
+          && List.for_all
+               (fun (fl : C.Pool.failure) ->
+                 fl.C.Pool.attempts = 2
+                 && fl.C.Pool.prior_messages
+                    = [ "Failure(\"task failure\")" ])
+               failures
+          && List.for_all
+               (fun i -> Atomic.get hits.(i) = if fails i then 2 else 1)
+               (List.init n Fun.id))
+
 (* ------------------------------------------------------------------ *)
-(* Runner: determinism, artifacts, checkpoint/resume                   *)
+(* Legacy Checkpoint: load report                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The shard-granular Checkpoint format is superseded by Journal but
+   still readable; its load report must name the first corrupt line. *)
+let test_checkpoint_load_names_corrupt_line () =
+  let path = Filename.temp_file "lbc-legacy" ".progress" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let header =
+        {
+          C.Checkpoint.campaign = "legacy";
+          count = 8;
+          shard_size = 4;
+          base_seed = 0;
+          fingerprint = "f00";
+        }
+      in
+      C.Checkpoint.start ~path ~header;
+      C.Checkpoint.append ~path
+        {
+          C.Checkpoint.shard = 0;
+          wall_s = 0.5;
+          verdicts = [||];
+          stats = C.Stats.empty;
+        };
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"shard\":1,\"trunc";
+      close_out oc;
+      let entries, report = C.Checkpoint.load ~path ~header in
+      check_int "intact entry loaded" 1 (List.length entries);
+      check_int "one line dropped" 1 report.C.Checkpoint.dropped;
+      (* header is line 1, the intact shard line 2, the damage line 3 *)
+      check "first corrupt line named" true
+        (report.C.Checkpoint.first_corrupt_line = Some 3))
+
+(* ------------------------------------------------------------------ *)
+(* Runner: determinism, artifacts, journal/resume                      *)
 (* ------------------------------------------------------------------ *)
 
 let small_grid () = grid_of_ints (5, 7, 3)
 
-let config ?(domains = 1) ?checkpoint ?stop_after ?max_rounds
-    ?(strict = false) () =
+let config ?(domains = 1) ?journal ?cache ?stop_after ?max_rounds
+    ?(strict = false) ?(steal = true) ?kill () =
   {
+    C.Runner.default with
     C.Runner.domains;
-    base_seed = 0;
-    shard_size = 4;
-    checkpoint;
+    journal;
+    cache;
     stop_after;
-    progress = None;
     max_rounds;
     strict;
+    steal;
+    kill_after_verdicts = kill;
   }
 
 let test_runner_deterministic_across_domains () =
@@ -327,8 +456,8 @@ let test_artifact_roundtrip () =
         (C.Artifact.deterministic_string a)
         (C.Artifact.deterministic_string a');
       check_int "resumed count survives"
-        a.C.Artifact.run.C.Artifact.resumed_shards
-        a'.C.Artifact.run.C.Artifact.resumed_shards
+        a.C.Artifact.run.C.Artifact.resumed_scenarios
+        a'.C.Artifact.run.C.Artifact.resumed_scenarios
   | Error e -> Alcotest.failf "artifact parse: %s" e);
   (match C.Artifact.of_string (C.Artifact.deterministic_string a) with
   | Ok a' ->
@@ -354,45 +483,46 @@ let test_artifact_save_load () =
       | Error e -> Alcotest.failf "load: %s" e)
 
 let test_resume_matches_uninterrupted () =
-  let path = Filename.temp_file "lbc-checkpoint" ".progress" in
+  let path = Filename.temp_file "lbc-journal" ".journal" in
   Fun.protect
     ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
     (fun () ->
       let baseline = C.Runner.run_exn ~config:(config ()) (small_grid ()) in
-      (* interrupt deterministically after 2 shards *)
+      (* interrupt deterministically after 2 scenarios *)
       (match
          C.Runner.run
-           ~config:(config ~checkpoint:path ~stop_after:2 ())
+           ~config:(config ~journal:path ~stop_after:2 ())
            (small_grid ())
        with
       | C.Runner.Partial { completed; total; _ } ->
           check "partial progress" true (completed = 2 && total > 2)
       | C.Runner.Complete _ -> Alcotest.fail "expected Partial");
-      check "checkpoint file exists while incomplete" true (Sys.file_exists path);
+      check "journal file exists while incomplete" true (Sys.file_exists path);
       (* resume with a different domain count *)
       match
-        C.Runner.run
-          ~config:(config ~domains:2 ~checkpoint:path ())
-          (small_grid ())
+        C.Runner.run ~config:(config ~domains:2 ~journal:path ()) (small_grid ())
       with
       | C.Runner.Partial _ -> Alcotest.fail "expected Complete"
       | C.Runner.Complete resumed ->
           check_str "resumed = uninterrupted"
             (C.Artifact.deterministic_string baseline)
             (C.Artifact.deterministic_string resumed);
-          check "resumed shards recorded" true
-            (resumed.C.Artifact.run.C.Artifact.resumed_shards = 2);
-          check "checkpoint removed on completion" false (Sys.file_exists path))
+          check "resumed scenarios recorded" true
+            (resumed.C.Artifact.run.C.Artifact.resumed_scenarios = 2);
+          check_int "recovery reports the adopted records" 2
+            resumed.C.Artifact.run.C.Artifact.recovery
+              .C.Artifact.recovered_records;
+          check "journal removed on completion" false (Sys.file_exists path))
 
-let test_checkpoint_header_mismatch_discards () =
-  let path = Filename.temp_file "lbc-checkpoint" ".progress" in
+let test_journal_header_mismatch_discards () =
+  let path = Filename.temp_file "lbc-journal" ".journal" in
   Fun.protect
     ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
     (fun () ->
-      (* leave a partial checkpoint for the small grid... *)
+      (* leave a partial journal for the small grid... *)
       (match
          C.Runner.run
-           ~config:(config ~checkpoint:path ~stop_after:1 ())
+           ~config:(config ~journal:path ~stop_after:1 ())
            (small_grid ())
        with
       | C.Runner.Partial _ -> ()
@@ -401,50 +531,57 @@ let test_checkpoint_header_mismatch_discards () =
          file must be discarded, not mixed in. *)
       let other = grid_of_ints (6, 1, 0) in
       let baseline = C.Runner.run_exn ~config:(config ()) (grid_of_ints (6, 1, 0)) in
-      match C.Runner.run ~config:(config ~checkpoint:path ()) other with
+      match C.Runner.run ~config:(config ~journal:path ()) other with
       | C.Runner.Partial _ -> Alcotest.fail "expected Complete"
       | C.Runner.Complete a ->
-          check_int "no stale shards resumed" 0
-            a.C.Artifact.run.C.Artifact.resumed_shards;
+          check_int "no stale scenarios resumed" 0
+            a.C.Artifact.run.C.Artifact.resumed_scenarios;
           check_str "result matches fresh run"
             (C.Artifact.deterministic_string baseline)
             (C.Artifact.deterministic_string a))
 
-let test_corrupt_checkpoint_line_skipped () =
-  let path = Filename.temp_file "lbc-checkpoint" ".progress" in
+let test_corrupt_journal_tail_truncated () =
+  let path = Filename.temp_file "lbc-journal" ".journal" in
   Fun.protect
     ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
     (fun () ->
       (match
          C.Runner.run
-           ~config:(config ~checkpoint:path ~stop_after:2 ())
+           ~config:(config ~journal:path ~stop_after:2 ())
            (small_grid ())
        with
       | C.Runner.Partial _ -> ()
       | C.Runner.Complete _ -> Alcotest.fail "expected Partial");
-      (* simulate a kill mid-append: truncated garbage on the last line *)
-      let oc = open_out_gen [ Open_append ] 0o644 path in
-      output_string oc "{\"shard\":2,\"verd";
+      (* simulate a kill mid-append: garbage bytes after the last intact
+         frame — the scan must reject them (absurd length prefix) and
+         truncate *)
+      let garbage = "{\"scenario\":2,\"verd" in
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc garbage;
       close_out oc;
       let baseline = C.Runner.run_exn ~config:(config ()) (small_grid ()) in
-      match C.Runner.run ~config:(config ~checkpoint:path ()) (small_grid ()) with
+      match C.Runner.run ~config:(config ~journal:path ()) (small_grid ()) with
       | C.Runner.Partial _ -> Alcotest.fail "expected Complete"
       | C.Runner.Complete a ->
-          check "intact shards still resumed" true
-            (a.C.Artifact.run.C.Artifact.resumed_shards = 2);
-          (* exactly the one truncated trailing line is counted dropped *)
-          check_int "dropped line surfaced" 1
-            a.C.Artifact.run.C.Artifact.dropped_lines;
+          check "intact records still resumed" true
+            (a.C.Artifact.run.C.Artifact.resumed_scenarios = 2);
+          let rc = a.C.Artifact.run.C.Artifact.recovery in
+          (* exactly the garbage bytes are counted dropped, and the
+             damage is located at the first corrupt record ordinal *)
+          check_int "dropped bytes surfaced" (String.length garbage)
+            rc.C.Artifact.dropped_bytes;
+          check "first corrupt record named" true
+            (rc.C.Artifact.first_corrupt_record = Some 3);
           check_str "corrupt tail ignored, result intact"
             (C.Artifact.deterministic_string baseline)
             (C.Artifact.deterministic_string a))
 
 (* A raising progress callback used to leave the sink mutex locked,
    deadlocking every other worker. Now the callback runs outside the
-   lock, the failing shard's first attempt records its result before the
-   callback fires, and the retry finds the result recorded — so the
-   campaign self-heals to [Complete] with no shard lost and the callback
-   not replayed. A regressed implementation hangs here. *)
+   lock, the failing scenario's first attempt records its result before
+   the callback fires, and the retry finds the result recorded — so the
+   campaign self-heals to [Complete] with no scenario lost and the
+   callback not replayed. A regressed implementation hangs here. *)
 let test_raising_progress_callback_self_heals () =
   let calls = Atomic.make 0 in
   let cfg =
@@ -452,7 +589,7 @@ let test_raising_progress_callback_self_heals () =
       (config ~domains:4 ()) with
       C.Runner.progress =
         Some
-          (fun ~done_shards:_ ~total_shards:_ ->
+          (fun ~done_scenarios:_ ~total:_ ->
             if Atomic.fetch_and_add calls 1 = 0 then failwith "progress boom");
     }
   in
@@ -460,7 +597,7 @@ let test_raising_progress_callback_self_heals () =
   | C.Runner.Partial _ -> Alcotest.fail "expected Complete"
   | C.Runner.Complete a ->
       let s = C.Artifact.summarize a in
-      check_int "no shard lost" s.C.Artifact.total s.C.Artifact.ok;
+      check_int "no scenario lost" s.C.Artifact.total s.C.Artifact.ok;
       check_int "no quarantine for a post-record failure" 0
         (List.length a.C.Artifact.quarantined));
   check "callback was invoked" true (Atomic.get calls >= 1)
@@ -532,8 +669,8 @@ let test_strict_mode_reports_scenario_id () =
       in
       check "failure message names the scenario id" true
         (contains (Scenario.id (raising_scenario ())) fl.C.Pool.message);
-      check "description names the shard's scenarios" true
-        (contains "shard" fl.C.Pool.description)
+      check "description names the scenario" true
+        (contains "scenario" fl.C.Pool.description)
   | _ -> Alcotest.fail "strict mode must poison the pool"
 
 let test_max_rounds_times_out () =
@@ -591,7 +728,7 @@ let test_wall_s_clamped_on_parse () =
         {
           a.C.Artifact.run with
           C.Artifact.wall_s = -5.0;
-          shard_wall_s = [ (0, -1.0); (1, 0.25) ];
+          slowest = [ (0, -1.0); (1, 0.25) ];
         };
     }
   in
@@ -600,10 +737,10 @@ let test_wall_s_clamped_on_parse () =
   | Ok a' ->
       check "negative wall_s clamped" true
         (a'.C.Artifact.run.C.Artifact.wall_s = 0.0);
-      check "negative shard wall clamped" true
-        (List.assoc 0 a'.C.Artifact.run.C.Artifact.shard_wall_s = 0.0);
-      check "positive shard wall kept" true
-        (List.assoc 1 a'.C.Artifact.run.C.Artifact.shard_wall_s = 0.25)
+      check "negative scenario wall clamped" true
+        (List.assoc 0 a'.C.Artifact.run.C.Artifact.slowest = 0.0);
+      check "positive scenario wall kept" true
+        (List.assoc 1 a'.C.Artifact.run.C.Artifact.slowest = 0.25)
 
 let test_old_artifacts_rejected () =
   let contains needle hay =
@@ -622,8 +759,8 @@ let test_old_artifacts_rejected () =
       | Ok _ -> Alcotest.failf "%s artifact must be rejected" old
       | Error msg ->
           check ("error names " ^ old ^ " and the expected version") true
-            (contains old msg && contains "lbc-campaign/4" msg))
-    [ "lbc-campaign/1"; "lbc-campaign/2"; "lbc-campaign/3" ]
+            (contains old msg && contains "lbc-campaign/5" msg))
+    [ "lbc-campaign/1"; "lbc-campaign/2"; "lbc-campaign/3"; "lbc-campaign/4" ]
 
 let test_quarantined_section_roundtrip () =
   let a = C.Runner.run_exn ~config:(config ()) (small_grid ()) in
@@ -632,8 +769,8 @@ let test_quarantined_section_roundtrip () =
       a with
       C.Artifact.quarantined =
         [
-          { C.Artifact.shard = 1; message = "Stack_overflow" };
-          { C.Artifact.shard = 3; message = "worker died" };
+          { C.Artifact.index = 1; id = "a1|x"; message = "Stack_overflow" };
+          { C.Artifact.index = 3; id = "a2|y"; message = "worker died" };
         ];
     }
   in
@@ -643,8 +780,7 @@ let test_quarantined_section_roundtrip () =
         (a'.C.Artifact.quarantined = a.C.Artifact.quarantined)
   | Error e -> Alcotest.failf "artifact parse: %s" e);
   let s = C.Artifact.summarize a in
-  check_int "summary counts quarantined shards" 2
-    s.C.Artifact.quarantined_shards;
+  check_int "summary counts quarantined scenarios" 2 s.C.Artifact.quarantined;
   check "quarantine is part of the deterministic portion" true
     (C.Artifact.deterministic_string a
     <> C.Artifact.deterministic_string { a with C.Artifact.quarantined = [] })
@@ -758,7 +894,7 @@ let prop_chaos_deterministic_across_domains =
       C.Artifact.deterministic_string a1 = C.Artifact.deterministic_string a4)
 
 let test_chaos_resume_matches_uninterrupted () =
-  let path = Filename.temp_file "lbc-chaos-checkpoint" ".progress" in
+  let path = Filename.temp_file "lbc-chaos-journal" ".journal" in
   Fun.protect
     ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
     (fun () ->
@@ -766,13 +902,13 @@ let test_chaos_resume_matches_uninterrupted () =
       let baseline = C.Runner.run_exn ~config:(config ()) (grid ()) in
       (match
          C.Runner.run
-           ~config:(config ~checkpoint:path ~stop_after:2 ())
+           ~config:(config ~journal:path ~stop_after:2 ())
            (grid ())
        with
       | C.Runner.Partial _ -> ()
       | C.Runner.Complete _ -> Alcotest.fail "expected Partial");
       match
-        C.Runner.run ~config:(config ~domains:3 ~checkpoint:path ()) (grid ())
+        C.Runner.run ~config:(config ~domains:3 ~journal:path ()) (grid ())
       with
       | C.Runner.Partial _ -> Alcotest.fail "expected Complete"
       | C.Runner.Complete resumed ->
@@ -827,14 +963,22 @@ let () =
              test_fingerprint_order_sensitive
         :: qt [ prop_sharding_is_partition ] );
       ( "pool",
+        Alcotest.test_case "executes all tasks" `Quick test_pool_executes_all
+        :: Alcotest.test_case "propagates exceptions" `Quick
+             test_pool_propagates_exception
+        :: Alcotest.test_case "quarantine after retry" `Quick
+             test_pool_contained_quarantines_after_retry
+        :: Alcotest.test_case "retry heals transient" `Quick
+             test_pool_contained_retry_heals_transient
+        :: Alcotest.test_case "prior messages recorded" `Quick
+             test_pool_contained_records_prior_messages
+        :: Alcotest.test_case "stealing executes all" `Quick
+             test_stealing_executes_all
+        :: qt [ prop_stealing_poison_and_exactly_once ] );
+      ( "checkpoint-legacy",
         [
-          Alcotest.test_case "executes all tasks" `Quick test_pool_executes_all;
-          Alcotest.test_case "propagates exceptions" `Quick
-            test_pool_propagates_exception;
-          Alcotest.test_case "quarantine after retry" `Quick
-            test_pool_contained_quarantines_after_retry;
-          Alcotest.test_case "retry heals transient" `Quick
-            test_pool_contained_retry_heals_transient;
+          Alcotest.test_case "corrupt line named" `Quick
+            test_checkpoint_load_names_corrupt_line;
         ] );
       ( "runner",
         [
@@ -844,10 +988,10 @@ let () =
           Alcotest.test_case "artifact save/load" `Quick test_artifact_save_load;
           Alcotest.test_case "resume = uninterrupted" `Quick
             test_resume_matches_uninterrupted;
-          Alcotest.test_case "stale checkpoint discarded" `Quick
-            test_checkpoint_header_mismatch_discards;
-          Alcotest.test_case "corrupt line skipped" `Quick
-            test_corrupt_checkpoint_line_skipped;
+          Alcotest.test_case "stale journal discarded" `Quick
+            test_journal_header_mismatch_discards;
+          Alcotest.test_case "corrupt journal tail truncated" `Quick
+            test_corrupt_journal_tail_truncated;
           Alcotest.test_case "raising progress callback" `Quick
             test_raising_progress_callback_self_heals;
           Alcotest.test_case "wall_s clamped" `Quick test_wall_s_clamped_on_parse;

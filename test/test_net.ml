@@ -230,18 +230,7 @@ let small_grid ?net () =
     ~inputs:Campaign.Grid.unanimous_inputs ()
 
 let run_grid grid =
-  let config =
-    {
-      Campaign.Runner.domains = 1;
-      base_seed = 0;
-      shard_size = 4;
-      checkpoint = None;
-      stop_after = None;
-      progress = None;
-      max_rounds = None;
-      strict = false;
-    }
-  in
+  let config = { Campaign.Runner.default with domains = 1 } in
   Campaign.Runner.run_exn ~config grid
 
 let test_campaign_ideal_bytes_identical () =
