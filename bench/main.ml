@@ -4,9 +4,9 @@
    Figure 1 (graphs meeting the tight condition), Figures 2-5 / Table 1
    (the necessity gadgets), and the quantitative claims in the text
    (round complexity, phase counts, threshold trade-offs). This harness
-   regenerates each of them as an experiment E1-E17 (see DESIGN.md and
+   regenerates each of them as an experiment E1-E18 (see DESIGN.md and
    EXPERIMENTS.md), then times the core operations with Bechamel
-   (B1-B6), and writes a machine-readable BENCH_9.json (per-experiment
+   (B1-B6), and writes a machine-readable BENCH_10.json (per-experiment
    wall-clock + key obs counters) next to the human tables.
 
    The exhaustive sweeps (E1, E2, E5, E8) are expressed as declarative
@@ -58,12 +58,12 @@ module Campaign = Lbc_campaign
 module Net = Lbc_net.Net
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable results (BENCH_9.json)                             *)
+(* Machine-readable results (BENCH_10.json)                            *)
 (* ------------------------------------------------------------------ *)
 
 (* Alongside the human tables, the harness records each experiment's
    wall-clock and the key obs counters its campaigns accumulated, and
-   writes them as BENCH_9.json — a small, diffable trend signal for the
+   writes them as BENCH_10.json — a small, diffable trend signal for the
    instrumented hot paths (bench/ is not lib/, so top-level refs are
    fine here). *)
 let tracked_counters =
@@ -1120,7 +1120,7 @@ let lint_deep () =
         Printf.printf "  %-28s %8d\n"
           ("findings " ^ Rules.id rule)
           (count rule))
-      [ Rules.E1; Rules.E2; Rules.M1; Rules.X1 ];
+      [ Rules.E1; Rules.E2; Rules.E3; Rules.E4; Rules.M1; Rules.X1 ];
     Printf.printf "  %-28s %8d\n" "suppressed"
       (List.length r.Deep.suppressed);
     Printf.printf "  %-28s %7.0fms\n" "wall" (wall *. 1e3);
@@ -1129,6 +1129,71 @@ let lint_deep () =
         ("lint.units", r.Deep.units);
         ("lint.findings", List.length r.Deep.kept);
         ("lint.suppressed", List.length r.Deep.suppressed);
+      ]
+  end
+
+(* E18: the incremental deep-lint cache's acceptance measurement — the
+   same whole-tree pass as E16, run twice through a fresh summary cache
+   (lib/lint/inc_cache). The cold run deserialises and walks every .cmt;
+   the warm run answers each unit from its content-addressed summary and
+   re-runs only the (cheap) whole-program rule passes. Findings must be
+   byte-identical across the two runs — the cache is invisible except in
+   wall-clock — and the cold/warm ratio is the number CI watches. *)
+let lint_cache () =
+  header "E18" "lbclint deep cache: cold vs warm over the build tree";
+  let module Deep = Lbc_lint.Deep in
+  let module Rules = Lbc_lint.Rules in
+  let dir =
+    let probe = Filename.temp_file "lbc_e18_cache" "" in
+    Sys.remove probe;
+    probe
+  in
+  let pass () =
+    let t0 = Campaign.Clock.now_s () in
+    let r =
+      Deep.run ~cache_dir:dir
+        ~skip_components:[ "lint_fixtures"; "deep_fixtures" ]
+        ~build_dirs:[ "_build/default" ] ~source_root:"." ()
+    in
+    (r, Campaign.Clock.now_s () -. t0)
+  in
+  let cold, cold_s = pass () in
+  if cold.Deep.units = 0 then
+    Printf.printf
+      "  no .cmt annotations found (run `dune build @check` first); skipped\n"
+  else begin
+    let warm, warm_s = pass () in
+    (try
+       Array.iter
+         (fun f -> Sys.remove (Filename.concat dir f))
+         (Sys.readdir dir);
+       Sys.rmdir dir
+     with Sys_error _ -> ());
+    if warm.Deep.kept <> cold.Deep.kept then
+      failwith "E18: warm findings diverge from cold run";
+    let count (r : Deep.result) rule =
+      List.length
+        (List.filter (fun (f : Rules.finding) -> f.Rules.rule = rule) r.Deep.kept)
+    in
+    Printf.printf "  %-36s %10s\n" "metric" "value";
+    Printf.printf "  %-36s %10d\n" "units analyzed" cold.Deep.units;
+    Printf.printf "  %-36s %10d\n" "cold misses (stored)" cold.Deep.cache_misses;
+    Printf.printf "  %-36s %10d\n" "warm hits" warm.Deep.cache_hits;
+    Printf.printf "  %-36s %10d\n" "warm misses" warm.Deep.cache_misses;
+    Printf.printf "  %-36s %9.0fms\n" "cold wall" (cold_s *. 1e3);
+    Printf.printf "  %-36s %9.0fms\n" "warm wall" (warm_s *. 1e3);
+    Printf.printf "  %-36s %9.2fx\n" "cold / warm"
+      (if warm_s > 0.0 then cold_s /. warm_s else 0.0);
+    Printf.printf "  %-36s %10s\n" "findings byte-identical" "true";
+    current_counters :=
+      [
+        ("lint.units", cold.Deep.units);
+        ("lint.cache_hit", warm.Deep.cache_hits);
+        ("lint.cache_miss", cold.Deep.cache_misses);
+        ("lint.e3", count cold Rules.E3);
+        ("lint.e4", count cold Rules.E4);
+        ("lint.cold_us", int_of_float (Float.round (cold_s *. 1e6)));
+        ("lint.warm_us", int_of_float (Float.round (warm_s *. 1e6)));
       ]
   end
 
@@ -1156,6 +1221,7 @@ let () =
   timed "e15" e15;
   timed "e17" e17;
   timed "lint_deep" lint_deep;
+  timed "lint_cache" lint_cache;
   timed "bechamel" bechamel_benches;
-  write_bench_json "BENCH_9.json";
+  write_bench_json "BENCH_10.json";
   Printf.printf "\nAll experiments complete.\n"

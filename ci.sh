@@ -28,7 +28,11 @@
 #     and fingerprint identically on 1 and 4 domains;
 #   - a perf smoke: two identical E5 runs must fingerprint identically
 #     and show packing.cache_hit > 0 (the certificate cache engages),
-#     and a committed BENCH_9.json must parse as lbc-bench/1;
+#     and a committed BENCH_10.json must parse as lbc-bench/1 and carry
+#     the E18 deep-lint cache counters;
+#   - the deep lint gate runs twice through a fresh --deep-cache
+#     directory with --sarif: the warm run must be all hits and its
+#     SARIF artifact byte-identical to the cold run's;
 #   - migration checks: legacy lbc-campaign/1 through /4 artifacts must
 #     be rejected with a clear version message, not misparsed.
 set -eu
@@ -54,21 +58,53 @@ dune exec bin/lbclint.exe -- --json --baseline lint-baseline \
 grep -q '"exit":0' "$tmp/lint.json" \
   || { echo "FAIL: lbclint reported findings"; exit 1; }
 
-echo "== lbclint --deep gate =="
+echo "== lbclint --deep gate (cold, populating the summary cache) =="
 # Whole-program pass over the .cmt/.cmti typed ASTs: E1 nondeterminism
 # taint into verdict/artifact/fingerprint paths, E2 unguarded
-# cross-domain mutable state, M1 the local-broadcast model invariant
-# (no Engine.Unicast outside lib/adversary and lib/lowerbound), plus
-# the advisory X1 dead-export report. @check materializes the
-# executables' .cmt files, which a plain `dune build` does not.
+# cross-domain mutable state, E3 lockset data races (empty mutex
+# intersection on a spawn-reachable mutable location, including cells
+# that escape through leaked refs), E4 check-then-act atomicity
+# (released-lock read/write pairs, Atomic.get+set), M1 the
+# local-broadcast model invariant (no Engine.Unicast outside
+# lib/adversary and lib/lowerbound), plus the advisory X1 dead-export
+# report. @check materializes the executables' .cmt files, which a
+# plain `dune build` does not.
 # The gate runs against an EMPTY baseline: every gating deep finding on
 # the repo tip is either fixed or carries an inline reasoned
 # suppression. X1 findings are advisory and do not affect the exit.
+# The run goes through a fresh --deep-cache directory and emits SARIF;
+# the second (warm) run below must answer every unit from the cache and
+# produce byte-identical output.
 dune build @check
 dune exec bin/lbclint.exe -- --deep --json --baseline lint-baseline \
+  --deep-cache "$tmp/lintcache" --sarif "$tmp/lint_cold.sarif" \
   lib bin bench test examples | tee "$tmp/lint_deep.json"
 grep -q '"exit":0' "$tmp/lint_deep.json" \
   || { echo "FAIL: lbclint --deep reported gating findings"; exit 1; }
+grep -q '"cache_hits":0' "$tmp/lint_deep.json" \
+  || { echo "FAIL: cold deep run claims cache hits"; exit 1; }
+
+echo "== lbclint --deep gate (warm, answered from the cache) =="
+dune exec bin/lbclint.exe -- --deep --json --baseline lint-baseline \
+  --deep-cache "$tmp/lintcache" --sarif "$tmp/lint_warm.sarif" \
+  lib bin bench test examples | tee "$tmp/lint_deep_warm.json"
+grep -q '"exit":0' "$tmp/lint_deep_warm.json" \
+  || { echo "FAIL: warm lbclint --deep reported gating findings"; exit 1; }
+grep -q '"cache_misses":0' "$tmp/lint_deep_warm.json" \
+  || { echo "FAIL: warm deep run still walked units"; exit 1; }
+if grep -q '"cache_hits":0' "$tmp/lint_deep_warm.json"; then
+  echo "FAIL: warm deep run hit nothing in the cache"; exit 1
+fi
+cmp -s "$tmp/lint_cold.sarif" "$tmp/lint_warm.sarif" \
+  || { echo "FAIL: warm SARIF differs from cold run"; exit 1; }
+
+echo "== SARIF artifact well-formed =="
+for key in '"version":"2.1.0"' '"runs"' '"tool"' '"driver"' '"results"' \
+    '"rules"' '{"id":"E3"' '{"id":"E4"'; do
+  grep -q "$key" "$tmp/lint_cold.sarif" \
+    || { echo "FAIL: SARIF output lacks $key"; exit 1; }
+done
+echo "SARIF OK: cold and warm runs byte-identical"
 
 echo "== smoke campaign (2 domains, populating the result cache) =="
 
@@ -248,21 +284,23 @@ hits=$(awk '/packing\.cache_hit/ { s += $2 } END { print s + 0 }' \
 echo "perf smoke OK: fingerprint $efp1, packing.cache_hit $hits"
 
 echo "== bench results artifact =="
-# The committed BENCH_9.json (written by `dune exec bench/main.exe`) must
-# stay parseable lbc-bench/1 and carry the campaign-robustness counters;
-# stage it with the other CI artifacts.
-if [ -f BENCH_9.json ]; then
-  grep -q '"format": *"lbc-bench/1"' BENCH_9.json \
-    || { echo "FAIL: BENCH_9.json is not lbc-bench/1"; exit 1; }
+# The committed BENCH_10.json (written by `dune exec bench/main.exe`)
+# must stay parseable lbc-bench/1 and carry the campaign-robustness
+# counters plus the E18 deep-lint cache measurement; stage it with the
+# other CI artifacts.
+if [ -f BENCH_10.json ]; then
+  grep -q '"format": *"lbc-bench/1"' BENCH_10.json \
+    || { echo "FAIL: BENCH_10.json is not lbc-bench/1"; exit 1; }
   for counter in campaign.steal cache.hit cache.miss \
-      journal.recovered_records; do
-    grep -q "\"$counter\"" BENCH_9.json \
-      || { echo "FAIL: BENCH_9.json lacks the $counter counter"; exit 1; }
+      journal.recovered_records lint.units lint.cache_hit lint.cache_miss \
+      lint.e3 lint.e4 lint.cold_us lint.warm_us; do
+    grep -q "\"$counter\"" BENCH_10.json \
+      || { echo "FAIL: BENCH_10.json lacks the $counter counter"; exit 1; }
   done
-  cp BENCH_9.json "$tmp/BENCH_9.json"
-  echo "BENCH_9.json staged"
+  cp BENCH_10.json "$tmp/BENCH_10.json"
+  echo "BENCH_10.json staged"
 else
-  echo "note: BENCH_9.json absent (bench not yet run on this checkout)"
+  echo "note: BENCH_10.json absent (bench not yet run on this checkout)"
 fi
 
 echo "== legacy artifacts rejected =="

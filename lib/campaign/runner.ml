@@ -104,7 +104,7 @@ let run ?(config = default) grid =
      from its own domain, turning the hang into Fuel_exhausted — and so
      into the ordinary Timed_out verdict — on the worker. *)
   let cells_mutex = Mutex.create () in
-  let cells : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let cells : (int, int Atomic.t) Hashtbl.t = Hashtbl.create 16 in
   let with_registered_fuel i thunk =
     match (config.max_rounds, config.deadline_s) with
     | None, None -> thunk ()
@@ -131,7 +131,7 @@ let run ?(config = default) grid =
   let on_overdue _pos i =
     Mutex.lock cells_mutex;
     (match Hashtbl.find_opt cells i with
-    | Some cell -> cell := 0
+    | Some cell -> Atomic.set cell 0
     | None -> ());
     Mutex.unlock cells_mutex
   in

@@ -1,0 +1,146 @@
+(* E4 — check-then-act atomicity.
+
+   A location can be perfectly guarded at every individual access and
+   still be corrupted by the shape between the accesses:
+
+   - {b released-lock check-then-act}: a read under [Mutex.protect]
+     whose result feeds a write under a LATER, separate acquisition of
+     the same lock — between release and reacquire another domain can
+     interleave, so the write acts on a stale check;
+   - {b non-atomic RMW on an atomic}: [Atomic.get] followed by
+     [Atomic.set] on the same cell in the same definition. Each call is
+     atomic; the pair is not. The fix is the read-modify-write
+     primitive ([compare_and_set], [fetch_and_add], [exchange]); a
+     definition that already uses one on the cell is exercising
+     deliberate load/store protocol and is exempt.
+
+   Both shapes are intra-definition: the pattern where a helper checks
+   and its caller acts is real but indistinguishable (at this level)
+   from correct lock-hoisted designs, so we stay on the
+   high-confidence, zero-false-positive side. Scope: lib definitions
+   in the concurrent region R — check-then-act in single-domain code
+   is not a bug. One finding per (definition, location). *)
+
+let lib_scope file = List.mem "lib" (String.split_on_char '/' file)
+
+let inter a b = List.filter (fun x -> List.mem x b) a
+
+(* Released-lock check-then-act on a top-level mutable location. *)
+let check_then_act (g : Callgraph.t) (d : Callgraph.def) =
+  let reported = Hashtbl.create 4 in
+  let rec scan acc = function
+    | [] -> List.rev acc
+    | (r : Callgraph.use) :: rest ->
+        let acc =
+          if
+            r.kind = Callgraph.Read
+            && r.guard_site > 0
+            && not (Hashtbl.mem reported r.target)
+          then
+            match
+              List.find_opt
+                (fun (w : Callgraph.use) ->
+                  w.target = r.target
+                  && w.kind = Callgraph.Write
+                  && w.guard_site > 0
+                  && w.guard_site <> r.guard_site
+                  && inter w.locks r.locks <> [])
+                rest
+            with
+            | Some w
+              when (match Callgraph.find g r.target with
+                   | Some t ->
+                       t.Callgraph.mutable_top && not t.Callgraph.atomic_top
+                   | None -> false) ->
+                Hashtbl.replace reported r.target ();
+                let target_name =
+                  match Callgraph.find g r.target with
+                  | Some t -> t.Callgraph.name
+                  | None -> r.target
+                in
+                {
+                  Rules.rule = Rules.E4;
+                  file = d.file;
+                  line = w.uline;
+                  col = w.ucol;
+                  message =
+                    Printf.sprintf
+                      "check-then-act: %s reads %s under %s at line %d, \
+                       releases the lock, then writes it under a separate \
+                       acquisition; hold the lock across the whole \
+                       read-modify-write"
+                      d.name target_name
+                      (String.concat "+" (inter w.locks r.locks))
+                      r.uline;
+                }
+                :: acc
+            | _ -> acc
+          else acc
+        in
+        scan acc rest
+  in
+  scan [] d.uses
+
+(* Atomic.get + Atomic.set pair without a read-modify-write. *)
+let get_then_set (g : Callgraph.t) (d : Callgraph.def) =
+  let has_rmw target =
+    List.exists
+      (fun (u : Callgraph.use) ->
+        u.target = target && u.kind = Callgraph.Atomic_rmw)
+      d.uses
+  in
+  let reported = Hashtbl.create 4 in
+  let rec scan acc = function
+    | [] -> List.rev acc
+    | (r : Callgraph.use) :: rest ->
+        let acc =
+          if
+            r.kind = Callgraph.Atomic_get
+            && (not (Hashtbl.mem reported r.target))
+            && (match Callgraph.find g r.target with
+               | Some t -> t.Callgraph.atomic_top
+               | None -> false)
+            && not (has_rmw r.target)
+          then
+            match
+              List.find_opt
+                (fun (w : Callgraph.use) ->
+                  w.target = r.target && w.kind = Callgraph.Atomic_set)
+                rest
+            with
+            | Some w ->
+                Hashtbl.replace reported r.target ();
+                let target_name =
+                  match Callgraph.find g r.target with
+                  | Some t -> t.Callgraph.name
+                  | None -> r.target
+                in
+                {
+                  Rules.rule = Rules.E4;
+                  file = d.file;
+                  line = w.uline;
+                  col = w.ucol;
+                  message =
+                    Printf.sprintf
+                      "non-atomic read-modify-write: %s does Atomic.get on \
+                       %s at line %d then Atomic.set; another domain can \
+                       interleave — use compare_and_set / fetch_and_add / \
+                       exchange"
+                      d.name target_name r.uline;
+                }
+                :: acc
+            | None -> acc
+          else acc
+        in
+        scan acc rest
+  in
+  scan [] d.uses
+
+let run (g : Callgraph.t) =
+  let region = Domsafe.concurrent_region g in
+  List.concat_map
+    (fun (d : Callgraph.def) ->
+      if Hashtbl.mem region d.key && lib_scope d.file then
+        check_then_act g d @ get_then_set g d
+      else [])
+    (Callgraph.defs_in_order g)

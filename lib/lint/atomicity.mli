@@ -1,0 +1,9 @@
+(** E4 — check-then-act atomicity violations.
+
+    Two high-confidence intra-definition shapes on spawn-reachable lib
+    code: a [Mutex.protect]-guarded read whose lock is released before
+    the dependent guarded write (same lock, separate acquisition), and
+    [Atomic.get] followed by [Atomic.set] on the same cell with no
+    read-modify-write primitive in sight. *)
+
+val run : Callgraph.t -> Rules.finding list

@@ -121,14 +121,42 @@ let of_findings findings =
   in
   (List.sort compare_entry entries, rejected)
 
+(* --update-baseline: shrink entries to what the current run still
+   needs. Counts only ever go DOWN (min of old and current) and no
+   entry is ever added — growing the debt ledger stays a deliberate
+   --write-baseline act. Entries that shrink to zero are dropped.
+   Returns the new baseline plus the per-entry shrinkage
+   [(rule_id, file, dropped)] for reporting. *)
+let update t findings =
+  let count_for e =
+    List.length
+      (List.filter
+         (fun (f : Rules.finding) ->
+           f.Rules.rule = e.rule && String.equal f.Rules.file e.file)
+         findings)
+  in
+  let updated, dropped =
+    List.fold_left
+      (fun (kept, dropped) e ->
+        let now = min e.count (count_for e) in
+        let dropped =
+          if now < e.count then (Rules.id e.rule, e.file, e.count - now) :: dropped
+          else dropped
+        in
+        if now > 0 then ({ e with count = now } :: kept, dropped)
+        else (kept, dropped))
+      ([], []) t
+  in
+  (List.sort compare_entry updated, List.rev dropped)
+
 let to_string t =
   let b = Buffer.create 256 in
   Buffer.add_string b
     "# lbclint baseline: grandfathered findings, one 'RULE FILE COUNT' per \
      line.\n";
   Buffer.add_string b
-    "# Only D2/D4/D5 are baselinable. Regenerate with: lbclint \
-     --write-baseline\n";
+    "# Baselinable: D2/D4/D5 and the deep rules (E1-E4, M1, X1). Regenerate \
+     with: lbclint --write-baseline, prune with: lbclint --update-baseline\n";
   List.iter
     (fun e ->
       Buffer.add_string b

@@ -4,7 +4,8 @@
     Entries are line-number-free on purpose: an entry absorbs up to
     [COUNT] findings of [RULE] in [FILE], so ordinary edits don't churn
     the baseline but a new finding in the same file still fails the
-    gate. Only baselinable rules (D2/D4/D5) may appear. *)
+    gate. Only baselinable rules (D2/D4/D5 and the deep rules E1-E4,
+    M1, X1) may appear. *)
 
 type entry = { rule : Rules.rule; file : string; count : int }
 type t = entry list
@@ -25,6 +26,12 @@ val apply :
 val of_findings : Rules.finding list -> t * Rules.finding list
 (** Group findings into entries; non-baselinable findings are returned
     in the second component (they must be fixed or suppressed inline). *)
+
+val update : t -> Rules.finding list -> t * (string * string * int) list
+(** [--update-baseline]: per existing entry, shrink the count to
+    [min old current] and drop entries that reach zero; entries are
+    never added or grown. Second component lists the shrinkage as
+    [(rule_id, file, dropped_count)]. *)
 
 val to_string : t -> string
 val save : path:string -> t -> unit

@@ -63,6 +63,69 @@ let skipped ~skip_components source =
     (fun c -> List.mem c skip_components)
     (String.split_on_char '/' source)
 
+let discover dirs = walk dirs
+
+(* Dune names an annotation file after its compilation unit with only
+   the first letter lowercased ([lbc_campaign__Runner.cmt] for unit
+   [Lbc_campaign__Runner], [dune__exe__Lbcast.cmt] for the executable
+   wrapper), so the unit name is recoverable from the path alone —
+   which is what lets the incremental cache group and key files without
+   deserialising them. *)
+let predicted_unit_name path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let load_paths paths =
+  let tbl : (string, unit_info) Hashtbl.t = Hashtbl.create 4 in
+  let order = ref [] in
+  let errs = ref [] in
+  let note_error path msg = errs := (path ^ ": " ^ msg) :: !errs in
+  List.iter
+    (fun path ->
+      match Cmt_format.read_cmt path with
+      | exception Sys_error m -> note_error path m
+      | exception Cmt_format.Error (Cmt_format.Not_a_typedtree m) ->
+          note_error path ("not a typedtree: " ^ m)
+      | exception _ -> note_error path "unreadable cmt file"
+      | cmt -> (
+          match cmt.Cmt_format.cmt_sourcefile with
+          | None -> ()
+          | Some source when generated source -> ()
+          | Some source ->
+              let name = cmt.Cmt_format.cmt_modname in
+              let info =
+                match Hashtbl.find_opt tbl name with
+                | Some i -> i
+                | None ->
+                    order := name :: !order;
+                    {
+                      unit_name = name;
+                      impl_source = None;
+                      intf_source = None;
+                      structure = None;
+                      signature = None;
+                    }
+              in
+              let info =
+                match cmt.Cmt_format.cmt_annots with
+                | Cmt_format.Implementation str ->
+                    { info with impl_source = Some source;
+                      structure = Some str }
+                | Cmt_format.Interface sg ->
+                    { info with intf_source = Some source;
+                      signature = Some sg }
+                | _ -> info
+              in
+              Hashtbl.replace tbl name info))
+    (List.sort String.compare paths);
+  let units =
+    List.rev !order
+    |> List.filter_map (Hashtbl.find_opt tbl)
+    |> List.sort (fun a b -> String.compare a.unit_name b.unit_name)
+  in
+  (units, List.rev !errs)
+
+let source_skipped = skipped
+
 let load ?(skip_components = []) dirs =
   let files, errs = walk dirs in
   let tbl : (string, unit_info) Hashtbl.t = Hashtbl.create 64 in

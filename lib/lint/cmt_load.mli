@@ -25,3 +25,23 @@ val load :
     (unreadable directory, corrupt annotation file). Dune's generated
     library-alias units ([.ml-gen] sources) are dropped, as is any unit
     whose source path contains a component of [skip_components]. *)
+
+val discover : string list -> string list * string list
+(** The walk alone: sorted [.cmt]/[.cmti] paths under the given
+    directories plus directory errors, nothing deserialised — the
+    incremental cache digests files at this stage and only loads the
+    groups it cannot serve from the store. *)
+
+val predicted_unit_name : string -> string
+(** Unit name recovered from an annotation file path (dune lowercases
+    only the first letter of the file name): ["Lbc_campaign__Runner"]
+    from [".../lbc_campaign__Runner.cmt"]. *)
+
+val load_paths : string list -> unit_info list * string list
+(** Load exactly the given annotation files, merging [.cmt]/[.cmti]
+    pairs by unit name. Generated ([.ml-gen]) units are dropped; no
+    [skip_components] filtering — the caller filters summaries. *)
+
+val source_skipped : skip_components:string list -> string -> bool
+(** Does this source path contain a skipped component? Exposed so the
+    deep orchestrator can apply the filter to cached summaries. *)

@@ -35,20 +35,6 @@ let library_of unit_name =
       in
       cut 0
 
-let exported_values (sg : Typedtree.signature) =
-  List.filter_map
-    (fun (item : Typedtree.signature_item) ->
-      match item.Typedtree.sig_desc with
-      | Typedtree.Tsig_value vd ->
-          let loc = vd.Typedtree.val_loc in
-          let pos = loc.Location.loc_start in
-          Some
-            ( Ident.name vd.Typedtree.val_id,
-              pos.Lexing.pos_lnum,
-              pos.Lexing.pos_cnum - pos.Lexing.pos_bol )
-      | _ -> None)
-    sg.Typedtree.sig_items
-
 (* unit of a canonical key: the part before the first '.' *)
 let unit_of_key key =
   match String.index_opt key '.' with
@@ -84,28 +70,28 @@ let run (g : Callgraph.t) =
         |> List.exists (fun u -> u <> unit_of_key key)
   in
   List.concat_map
-    (fun (u : Cmt_load.unit_info) ->
-      match (u.signature, u.intf_source) with
-      | Some sg, Some intf
-        when lib_scope intf
-             && not (Hashtbl.mem g.Callgraph.functor_arg_units u.unit_name) ->
-          List.filter_map
-            (fun (name, line, col) ->
-              let key = u.unit_name ^ "." ^ name in
-              if alive_outside_unit key then None
-              else
-                Some
-                  {
-                    Rules.rule = Rules.X1;
-                    file = intf;
-                    line;
-                    col;
-                    message =
-                      Printf.sprintf
-                        "export %s is never referenced outside its defining \
-                         module; narrow the .mli or delete the dead code"
-                        name;
-                  })
-            (exported_values sg)
-      | _ -> [])
-    g.Callgraph.units
+    (fun (unit_name, intf, exported) ->
+      if
+        lib_scope intf
+        && not (Hashtbl.mem g.Callgraph.functor_arg_units unit_name)
+      then
+        List.filter_map
+          (fun (name, line, col) ->
+            let key = unit_name ^ "." ^ name in
+            if alive_outside_unit key then None
+            else
+              Some
+                {
+                  Rules.rule = Rules.X1;
+                  file = intf;
+                  line;
+                  col;
+                  message =
+                    Printf.sprintf
+                      "export %s is never referenced outside its defining \
+                       module; narrow the .mli or delete the dead code"
+                      name;
+                })
+          exported
+      else [])
+    g.Callgraph.exports

@@ -1,5 +1,6 @@
 (** The [--deep] whole-program pass: E1 (nondeterminism taint), E2
-    (cross-domain mutable state), M1 (local-broadcast model invariant),
+    (cross-domain mutable state), E3 (lockset data races), E4
+    (check-then-act atomicity), M1 (local-broadcast model invariant),
     X1 (dead exports, advisory).
 
     Requires a prior [dune build] — the pass reads the
@@ -12,11 +13,14 @@ type result = {
   errors : string list;
       (** annotation files that failed to load — the driver maps these
           onto exit code 2, same as shallow parse errors *)
-  units : int;  (** compilation units analyzed *)
+  units : int;  (** compilation units analyzed (cached + walked) *)
+  cache_hits : int;  (** summary-cache hits; 0 without [cache_dir] *)
+  cache_misses : int;
 }
 
 val run :
   ?skip_components:string list ->
+  ?cache_dir:string ->
   build_dirs:string list ->
   source_root:string ->
   unit ->
@@ -26,4 +30,7 @@ val run :
     source path contains a component of [skip_components], and prefixes
     finding paths with nothing — they stay build-root-relative, which
     matches the shallow walk's paths when linting from the repo root.
-    [source_root] locates the sources for the inline-directive scan. *)
+    [source_root] locates the sources for the inline-directive scan.
+    [cache_dir], when given, holds the per-unit summary cache
+    ({!Inc_cache}): warm runs re-walk only changed units and must
+    produce byte-identical findings. *)

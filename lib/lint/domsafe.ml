@@ -23,7 +23,12 @@
    an R member in lib scope, to a definition that creates top-level
    mutable state. Module-initialisation references (lambda depth zero)
    run once before any domain exists and are exempt; references under
-   [Mutex.protect] or [Domain.DLS.get]/[set] are guarded. *)
+   [Mutex.protect] or [Domain.DLS.get]/[set] are guarded.
+
+   [Atomic.t] cells are first-class: a binding created with
+   [Atomic.make] carries [atomic_top], not [mutable_top], so it never
+   fires here — its access discipline belongs to the E3 lockset and E4
+   atomicity passes. *)
 
 let lib_scope file = List.mem "lib" (String.split_on_char '/' file)
 

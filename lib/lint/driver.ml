@@ -41,6 +41,8 @@ let walk roots =
   let files, errs = List.fold_left one ([], []) roots in
   (List.sort String.compare files, List.rev errs)
 
+type deep_stats = { units : int; cache_hits : int; cache_misses : int }
+
 type outcome = {
   files : int;
   actionable : Rules.finding list;
@@ -48,6 +50,7 @@ type outcome = {
   baselined : Rules.finding list;
   stale : (string * string * int) list;
   errors : string list;
+  deep : deep_stats option;  (* present when the deep pass ran *)
 }
 
 let lint_file path =
@@ -83,7 +86,7 @@ let under_roots roots (f : Rules.finding) =
 
 let analyze ?(baseline = Baseline.empty) ?(deep = false)
     ?(deep_build_dirs = [ "_build/default" ]) ?(deep_source_root = ".")
-    ~roots () =
+    ?deep_cache ~roots () =
   let files, errors = walk roots in
   let kept, suppressed, errors =
     List.fold_left
@@ -92,17 +95,24 @@ let analyze ?(baseline = Baseline.empty) ?(deep = false)
         (k @ kept, s @ sup, match err with Some m -> m :: errs | None -> errs))
       ([], [], errors) files
   in
-  let kept, suppressed, errors =
-    if not deep then (kept, suppressed, errors)
+  let kept, suppressed, errors, deep_stats =
+    if not deep then (kept, suppressed, errors, None)
     else begin
       let r =
         Deep.run
           ~skip_components:[ "lint_fixtures"; "deep_fixtures" ]
-          ~build_dirs:deep_build_dirs ~source_root:deep_source_root ()
+          ?cache_dir:deep_cache ~build_dirs:deep_build_dirs
+          ~source_root:deep_source_root ()
       in
       ( List.filter (under_roots roots) r.Deep.kept @ kept,
         List.filter (under_roots roots) r.Deep.suppressed @ suppressed,
-        errors @ r.Deep.errors )
+        errors @ r.Deep.errors,
+        Some
+          {
+            units = r.Deep.units;
+            cache_hits = r.Deep.cache_hits;
+            cache_misses = r.Deep.cache_misses;
+          } )
     end
   in
   let kept = List.sort Rules.compare_finding kept in
@@ -114,6 +124,7 @@ let analyze ?(baseline = Baseline.empty) ?(deep = false)
     baselined;
     stale;
     errors;
+    deep = deep_stats;
   }
 
 let has_parse_error o =
@@ -191,15 +202,27 @@ let render_json fmt o =
     Printf.sprintf "{\"rule\":\"%s\",\"file\":\"%s\",\"unmatched\":%d}" rid
       (json_escape file) n
   in
+  (* lbclint/3: adds the "deep" stats object (null when the deep pass
+     did not run). /2 documents are no longer emitted; consumers that
+     pinned "lbclint/2" must update — the change is additive apart from
+     the format tag. *)
+  let deep_json =
+    match o.deep with
+    | None -> "null"
+    | Some d ->
+        Printf.sprintf
+          "{\"units\":%d,\"cache_hits\":%d,\"cache_misses\":%d}" d.units
+          d.cache_hits d.cache_misses
+  in
   Format.fprintf fmt
-    "{\"format\":\"lbclint/2\",\"files\":%d,\"findings\":[%s],\"suppressed\":%d,\"baselined\":%d,\"stale\":[%s],\"errors\":[%s],\"exit\":%d}@."
+    "{\"format\":\"lbclint/3\",\"files\":%d,\"findings\":[%s],\"suppressed\":%d,\"baselined\":%d,\"stale\":[%s],\"errors\":[%s],\"deep\":%s,\"exit\":%d}@."
     o.files
     (String.concat "," (List.map finding_json o.actionable))
     (List.length o.suppressed) (List.length o.baselined)
     (String.concat "," (List.map stale_json o.stale))
     (String.concat ","
        (List.map (fun m -> "\"" ^ json_escape m ^ "\"") o.errors))
-    (exit_code o)
+    deep_json (exit_code o)
 
 (* ------------------------------------------------------------------ *)
 (* Entry point shared by bin/lbclint and `lbcast lint`                 *)
@@ -209,9 +232,19 @@ type config = {
   roots : string list;
   baseline : string option;
   write_baseline : bool;
+  update_baseline : bool;
   json : bool;
   deep : bool;
+  sarif : string option;
+  deep_cache : string option;
 }
+
+let emit_sarif config o =
+  match config.sarif with
+  | None -> ()
+  | Some path ->
+      Sarif.write ~path ~actionable:o.actionable ~suppressed:o.suppressed
+        ~baselined:o.baselined
 
 let main ?(fmt = Format.std_formatter) config =
   let roots = if config.roots = [] then default_roots else config.roots in
@@ -225,8 +258,16 @@ let main ?(fmt = Format.std_formatter) config =
       Format.fprintf fmt "lbclint: error: %s@." m;
       2
   | Ok baseline ->
-      if config.write_baseline then begin
-        let o = analyze ~deep:config.deep ~roots () in
+      if config.write_baseline && config.update_baseline then begin
+        Format.fprintf fmt
+          "lbclint: error: --write-baseline and --update-baseline are \
+           mutually exclusive@.";
+        2
+      end
+      else if config.write_baseline then begin
+        let o =
+          analyze ~deep:config.deep ?deep_cache:config.deep_cache ~roots ()
+        in
         let entries, rejected = Baseline.of_findings o.actionable in
         match config.baseline with
         | None ->
@@ -245,8 +286,47 @@ let main ?(fmt = Format.std_formatter) config =
             List.iter (fun f -> Format.fprintf fmt "%a@." pp_finding f) rejected;
             if rejected <> [] || o.errors <> [] then 1 else 0
       end
+      else if config.update_baseline then begin
+        match config.baseline with
+        | None ->
+            Format.fprintf fmt
+              "lbclint: error: --update-baseline requires --baseline FILE@.";
+            2
+        | Some path ->
+            (* Analyze WITHOUT absorbing, shrink the ledger to what the
+               run still produces, then gate against the shrunk ledger.
+               Entries are never added: growing the debt stays a
+               deliberate --write-baseline act. *)
+            let raw =
+              analyze ~deep:config.deep ?deep_cache:config.deep_cache ~roots ()
+            in
+            let updated, dropped = Baseline.update baseline raw.actionable in
+            Baseline.save ~path updated;
+            List.iter
+              (fun (rid, file, n) ->
+                Format.fprintf fmt
+                  "lbclint: dropped stale baseline count %s %s (%d)@." rid
+                  file n)
+              dropped;
+            Format.fprintf fmt
+              "lbclint: updated %s: %d entr%s kept, %d shrunk or dropped@."
+              path (List.length updated)
+              (if List.length updated = 1 then "y" else "ies")
+              (List.length dropped);
+            let actionable, baselined, stale =
+              Baseline.apply updated raw.actionable
+            in
+            let o = { raw with actionable; baselined; stale } in
+            emit_sarif config o;
+            if config.json then render_json fmt o else render_human fmt o;
+            exit_code o
+      end
       else begin
-        let o = analyze ~baseline ~deep:config.deep ~roots () in
+        let o =
+          analyze ~baseline ~deep:config.deep ?deep_cache:config.deep_cache
+            ~roots ()
+        in
+        emit_sarif config o;
         if config.json then render_json fmt o else render_human fmt o;
         exit_code o
       end

@@ -1,0 +1,10 @@
+(** E3 — Eraser-style lockset analysis over the concurrent region.
+
+    Fires when a domain-shared mutable location — a top-level
+    ref/Hashtbl/..., or a cell that escapes domain-local storage through
+    a leaking accessor — is accessed along spawn-reachable paths whose
+    held-mutex sets have empty intersection, and the location is not
+    [Atomic.t] or purely DLS-local. One finding per location, naming
+    the two unsynchronized paths. *)
+
+val run : Callgraph.t -> Rules.finding list

@@ -9,13 +9,15 @@ type rule =
   | D6 (* catch-all exception handler *)
   | E1 (* deep: nondeterminism reaching verdict/artifact/fingerprint *)
   | E2 (* deep: unguarded cross-domain mutable state *)
+  | E3 (* deep: empty lockset on a domain-shared mutable location *)
+  | E4 (* deep: check-then-act atomicity violation *)
   | M1 (* deep: per-receiver payload outside the sanctioned modules *)
   | X1 (* deep: .mli export never referenced outside its library *)
   | Badsup (* malformed suppression directive *)
   | Parse (* file failed to parse *)
 
 let all = [ D1; D2; D3; D4; D5; D6 ]
-let deep = [ E1; E2; M1; X1 ]
+let deep = [ E1; E2; E3; E4; M1; X1 ]
 
 let id = function
   | D1 -> "D1"
@@ -26,6 +28,8 @@ let id = function
   | D6 -> "D6"
   | E1 -> "E1"
   | E2 -> "E2"
+  | E3 -> "E3"
+  | E4 -> "E4"
   | M1 -> "M1"
   | X1 -> "X1"
   | Badsup -> "SUP"
@@ -40,12 +44,14 @@ let of_id = function
   | "D6" -> Some D6
   | "E1" -> Some E1
   | "E2" -> Some E2
+  | "E3" -> Some E3
+  | "E4" -> Some E4
   | "M1" -> Some M1
   | "X1" -> Some X1
   | _ -> None (* SUP and PARSE are synthetic: not suppressible by name *)
 
 let severity = function
-  | D1 | D2 | D3 | D6 | E1 | E2 | M1 | Badsup | Parse -> Error
+  | D1 | D2 | D3 | D6 | E1 | E2 | E3 | E4 | M1 | Badsup | Parse -> Error
   | D4 | D5 | X1 -> Warning
 
 let severity_string = function Error -> "error" | Warning -> "warning"
@@ -64,7 +70,7 @@ let gating = function X1 -> false | _ -> true
    restructured — they are baselinable, though the repo's own baseline
    stays empty. *)
 let baselinable = function
-  | D2 | D4 | D5 | E1 | E2 | M1 | X1 -> true
+  | D2 | D4 | D5 | E1 | E2 | E3 | E4 | M1 | X1 -> true
   | D1 | D3 | D6 | Badsup | Parse -> false
 
 let describe = function
@@ -98,6 +104,16 @@ let describe = function
       "whole-program domain safety: top-level mutable state is \
        referenced from code reachable from Domain.spawn without a \
        dominating Mutex.protect/Domain.DLS guard"
+  | E3 ->
+      "lockset analysis: a domain-shared mutable location is accessed \
+       along two spawn-reachable paths whose held-mutex sets have empty \
+       intersection and the location is not Atomic.t/DLS — a data race \
+       under the OCaml 5 memory model"
+  | E4 ->
+      "atomicity: check-then-act on shared state — a guarded read whose \
+       lock is released before the dependent write, or Atomic.get \
+       followed by Atomic.set where compare_and_set/fetch_and_add is \
+       required"
   | M1 ->
       "local-broadcast model invariant: only lib/adversary and \
        lib/lowerbound may construct per-receiver payloads \
@@ -126,9 +142,11 @@ let rule_order r =
   | D6 -> 6
   | E1 -> 7
   | E2 -> 8
-  | M1 -> 9
-  | X1 -> 10
-  | Badsup -> 11
+  | E3 -> 9
+  | E4 -> 10
+  | M1 -> 11
+  | X1 -> 12
+  | Badsup -> 13
   | Parse -> 0
 
 let compare_finding a b =

@@ -2,7 +2,7 @@
 
     Determinism and domain-safety rules enforced over [lib/ bin/ bench/
     test/ examples/]. [D1]-[D6] are the per-file syntactic rules;
-    [E1]/[E2]/[M1]/[X1] are the whole-program rules of the [--deep]
+    [E1]-[E4]/[M1]/[X1] are the whole-program rules of the [--deep]
     typedtree pass; [Badsup] and [Parse] are synthetic findings produced
     by the engine itself (a malformed suppression directive, an
     unparseable file) and can be neither suppressed nor baselined. *)
@@ -22,6 +22,14 @@ type rule =
   | E2
       (** deep: top-level mutable state referenced from
           [Domain.spawn]-reachable code without a dominating guard *)
+  | E3
+      (** deep: empty lockset — a domain-shared mutable location is
+          reached along two paths holding no common mutex, and the
+          location is not [Atomic.t]/DLS *)
+  | E4
+      (** deep: check-then-act — a guarded read whose lock is released
+          before the dependent write, or [Atomic.get]+[Atomic.set]
+          where a read-modify-write primitive is required *)
   | M1
       (** deep: [Engine.Unicast] constructed outside [lib/adversary] and
           [lib/lowerbound] — the local-broadcast non-equivocation
@@ -34,7 +42,7 @@ val all : rule list
 (** The six per-file rules, in order. *)
 
 val deep : rule list
-(** The whole-program rules ([E1; E2; M1; X1]), in order. *)
+(** The whole-program rules ([E1; E2; E3; E4; M1; X1]), in order. *)
 
 val id : rule -> string
 (** Stable identifier: ["D1"].."D6", ["SUP"], ["PARSE"]. *)

@@ -1,0 +1,20 @@
+(** SARIF 2.1.0 output ([--sarif FILE]).
+
+    One run, the full rule registry as reportingDescriptors, one result
+    per finding; suppressed/baselined findings are emitted with
+    [suppressions] of kind [inSource]/[external] respectively. *)
+
+val render :
+  actionable:Rules.finding list ->
+  suppressed:Rules.finding list ->
+  baselined:Rules.finding list ->
+  string
+(** The document text (trailing newline included). *)
+
+val write :
+  path:string ->
+  actionable:Rules.finding list ->
+  suppressed:Rules.finding list ->
+  baselined:Rules.finding list ->
+  unit
+(** Atomic write via temp + rename. *)

@@ -58,30 +58,34 @@ let may_unicast model u =
 (* ------------------------------------------------------------------ *)
 (* Fuel: a domain-local round budget shared by every engine run in a   *)
 (* dynamic extent, so a livelocked (or merely huge) execution raises   *)
-(* instead of hanging its domain.                                      *)
+(* instead of hanging its domain. The cell is an Atomic.t because the  *)
+(* handle escapes through [current_fuel_cell] to the campaign watchdog,*)
+(* which zeroes it from ANOTHER domain — a plain ref write would not   *)
+(* be guaranteed to become visible to the worker under the OCaml 5     *)
+(* memory model.                                                       *)
 (* ------------------------------------------------------------------ *)
 
 exception Fuel_exhausted of { budget : int }
 
-let fuel_key : (int * int ref) option Domain.DLS.key =
+let fuel_key : (int * int Atomic.t) option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
 let with_fuel ~budget f =
   let prev = Domain.DLS.get fuel_key in
-  Domain.DLS.set fuel_key (Some (budget, ref budget));
+  Domain.DLS.set fuel_key (Some (budget, Atomic.make budget));
   Fun.protect ~finally:(fun () -> Domain.DLS.set fuel_key prev) f
 
 let check_fuel () =
   match Domain.DLS.get fuel_key with
-  | Some (budget, r) when !r <= 0 -> raise (Fuel_exhausted { budget })
+  | Some (budget, r) when Atomic.get r <= 0 -> raise (Fuel_exhausted { budget })
   | Some _ | None -> ()
 
 let consume_fuel n =
   match Domain.DLS.get fuel_key with
   | None -> ()
   | Some (budget, r) ->
-      r := !r - n;
-      if !r < 0 then raise (Fuel_exhausted { budget })
+      let old = Atomic.fetch_and_add r (-n) in
+      if old - n < 0 then raise (Fuel_exhausted { budget })
 
 let current_fuel_cell () =
   match Domain.DLS.get fuel_key with

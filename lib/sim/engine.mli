@@ -142,12 +142,14 @@ val check_fuel : unit -> unit
     heads), so multi-phase algorithms stop promptly rather than starting
     another full [run]. No-op without a budget. *)
 
-val current_fuel_cell : unit -> int ref option
+val current_fuel_cell : unit -> int Atomic.t option
 (** The live fuel counter installed by the innermost {!with_fuel} on the
     calling domain, if any. The campaign runner's deadline watchdog holds
     this cell and zeroes it {e from another domain} to cancel an overdue
     execution: the next [consume_fuel]/[check_fuel] on the running domain
     then raises {!Fuel_exhausted} with the installed budget, turning a
-    hung execution into an ordinary timeout verdict. The cross-domain
-    write is a benign race on an immediate [int] — the worst outcome is
-    one extra round before the raise. *)
+    hung execution into an ordinary timeout verdict. The cell is an
+    [Atomic.t] precisely because of that cross-domain write: a plain
+    [ref] would give the zero no visibility guarantee under the OCaml 5
+    memory model, so the worker could spin forever without ever
+    observing the cancellation. *)

@@ -1,0 +1,5 @@
+(* E3 negative case: the shared cell is an Atomic.t — a first-class
+   guard, no mutex required. *)
+let counter = Atomic.make 0
+let bump () = Atomic.incr counter
+let launch () = Domain.join (Domain.spawn (fun () -> bump ()))

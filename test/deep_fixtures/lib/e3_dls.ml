@@ -1,0 +1,9 @@
+(* E3 negative case: domain-local storage. Each domain mutates its own
+   cell obtained from Domain.DLS.get, so there is no sharing to lock. *)
+let slot : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let bump () =
+  let r = Domain.DLS.get slot in
+  r := !r + 1
+
+let launch () = Domain.join (Domain.spawn (fun () -> bump ()))

@@ -1,0 +1,33 @@
+(* E3 firing case for the escaped-cell half of the analysis — the
+   engine fuel-cell shape: a cell lives in domain-local storage, an
+   accessor leaks the raw ref, the leaked handle is parked in a
+   registry, and ANOTHER domain writes through it. No top-level mutable
+   definition anywhere, so E2 and the top-level lockset half are blind
+   to it. *)
+let key : int ref option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let install n = Domain.DLS.set key (Some (ref n))
+let current_fuel_cell () = Domain.DLS.get key
+
+let burn () =
+  match Domain.DLS.get key with Some r -> r := !r - 1 | None -> ()
+
+let launch () =
+  let registry : (int, int ref) Hashtbl.t = Hashtbl.create 4 in
+  let register i =
+    match current_fuel_cell () with
+    | Some c -> Hashtbl.replace registry i c
+    | None -> ()
+  in
+  let cancel i =
+    match Hashtbl.find_opt registry i with
+    | Some cell -> cell := 0
+    | None -> ()
+  in
+  let d =
+    Domain.spawn (fun () ->
+        install 9;
+        register 0;
+        burn ())
+  in
+  cancel 0;
+  Domain.join d

@@ -1,0 +1,13 @@
+(* E3 firing case beyond E2's reach: every access is individually
+   guarded, but the two paths hold DIFFERENT mutexes, so no single lock
+   protects the location — the lockset intersection is empty. *)
+let lock_a = Mutex.create ()
+let lock_b = Mutex.create ()
+let counter = ref 0
+let bump_a () = Mutex.protect lock_a (fun () -> incr counter)
+let bump_b () = Mutex.protect lock_b (fun () -> incr counter)
+
+let launch () =
+  let d = Domain.spawn (fun () -> bump_a ()) in
+  bump_b ();
+  Domain.join d

@@ -1,0 +1,5 @@
+(* E3 firing case: a spawn-reachable write to a top-level ref with no
+   lock held anywhere on the path — the empty-lockset race. *)
+let flag = ref false
+let set_done () = flag := true
+let launch () = Domain.join (Domain.spawn (fun () -> set_done ()))

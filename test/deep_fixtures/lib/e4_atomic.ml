@@ -1,0 +1,9 @@
+(* E4 firing case: Atomic.get followed by Atomic.set. Each call is
+   atomic, the pair is not — the increment can be lost. *)
+let counter = Atomic.make 0
+
+let bump () =
+  let v = Atomic.get counter in
+  Atomic.set counter (v + 1)
+
+let launch () = Domain.join (Domain.spawn (fun () -> bump ()))

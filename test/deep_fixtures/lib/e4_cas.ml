@@ -1,0 +1,9 @@
+(* E4 negative case: the read feeds compare_and_set, which re-validates
+   the read atomically — the deliberate lock-free retry loop. *)
+let counter = Atomic.make 0
+
+let rec bump () =
+  let v = Atomic.get counter in
+  if not (Atomic.compare_and_set counter v (v + 1)) then bump ()
+
+let launch () = Domain.join (Domain.spawn (fun () -> bump ()))

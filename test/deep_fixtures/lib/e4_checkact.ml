@@ -1,0 +1,14 @@
+(* E4 firing case: check-then-act with a released lock. The read and
+   the dependent write are each guarded by the same mutex, but under
+   SEPARATE acquisitions — another domain can interleave between them,
+   so the write acts on a stale check. (Every access is guarded, and
+   the lockset intersection is the lock itself, so neither E2 nor E3
+   can object: this gap is exactly what E4 exists for.) *)
+let lock = Mutex.create ()
+let counter = ref 0
+
+let bump () =
+  let v = Mutex.protect lock (fun () -> !counter) in
+  Mutex.protect lock (fun () -> counter := v + 1)
+
+let launch () = Domain.join (Domain.spawn (fun () -> bump ()))

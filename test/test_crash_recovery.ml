@@ -285,6 +285,31 @@ let test_watchdog_fires_on_overdue_task () =
   check "watchdog fired on the overdue task" true (Atomic.get fired.(2));
   check "watchdog left fast tasks alone" true (not (Atomic.get fired.(0)))
 
+let test_watchdog_zeroes_fuel_across_domains () =
+  (* The runner's on_overdue writes the worker's fuel cell from the
+     watchdog's domain. This is exactly the write a plain [ref] gives no
+     visibility guarantee for under the OCaml 5 memory model — the cell
+     is an [Atomic.t] so the worker's next check observes the zero. The
+     spawn/join pair makes the cross-domain write real, not simulated. *)
+  check "no cell outside with_fuel" true
+    (Lbc_sim.Engine.current_fuel_cell () = None);
+  let observed =
+    Lbc_sim.Engine.with_fuel ~budget:1000 (fun () ->
+        let cell =
+          match Lbc_sim.Engine.current_fuel_cell () with
+          | Some c -> c
+          | None -> Alcotest.fail "no fuel cell inside with_fuel"
+        in
+        Domain.join (Domain.spawn (fun () -> Atomic.set cell 0));
+        match Lbc_sim.Engine.check_fuel () with
+        | () -> `Survived
+        | exception Lbc_sim.Engine.Fuel_exhausted { budget } ->
+            `Exhausted budget)
+  in
+  check "zeroed cell turns into Fuel_exhausted with the installed budget"
+    true
+    (observed = `Exhausted 1000)
+
 (* The runner-level deadline plumbing must not disturb a campaign whose
    scenarios all finish in time: same deterministic bytes, no timeouts. *)
 let test_runner_deadline_harmless_when_met () =
@@ -449,6 +474,8 @@ let () =
             test_stealing_drains_straggler_block;
           Alcotest.test_case "watchdog fires" `Quick
             test_watchdog_fires_on_overdue_task;
+          Alcotest.test_case "watchdog fuel zero crosses domains" `Quick
+            test_watchdog_zeroes_fuel_across_domains;
           Alcotest.test_case "deadline harmless when met" `Quick
             test_runner_deadline_harmless_when_met;
         ] );

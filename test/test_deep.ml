@@ -20,6 +20,11 @@ let check_str = Alcotest.(check string)
 
 let fixture_file name = "test/deep_fixtures/lib/" ^ name
 
+let contains s needle =
+  let nl = String.length needle and hl = String.length s in
+  let rec go i = i + nl <= hl && (String.sub s i nl = needle || go (i + 1)) in
+  go 0
+
 (* One Deep.run over the fixture tree, shared by all cases. *)
 let result =
   lazy (Deep.run ~build_dirs:[ "deep_fixtures" ] ~source_root:".." ())
@@ -52,14 +57,7 @@ let test_e1_fires () =
       check "rule" true (f.Rules.rule = Rules.E1);
       check_int "at the sink definition" 3 f.Rules.line;
       (* the message names the primitive and the call chain to it *)
-      let has needle =
-        let s = f.Rules.message in
-        let nl = String.length needle and hl = String.length s in
-        let rec go i =
-          i + nl <= hl && (String.sub s i nl = needle || go (i + 1))
-        in
-        go 0
-      in
+      let has = contains f.Rules.message in
       check "names the primitive" true (has "Stdlib.Sys.time");
       check "gives the chain" true (has "fingerprint_run -> now")
   | fs -> Alcotest.failf "expected one E1, got [%s]" (summarize fs)
@@ -72,7 +70,8 @@ let test_e1_seed_cut_by_inline_suppression () =
     (summarize (suppressed_in (fixture_file "e1_sup.ml")))
 
 let test_e2_fires () =
-  check_str "unguarded spawn-reachable mutation" "E2:4"
+  (* E3 co-fires: an unguarded write is also an empty-lockset write *)
+  check_str "unguarded spawn-reachable mutation" "E2:4;E3:4"
     (summarize (kept_in (fixture_file "e2_spawn.ml")))
 
 let test_e2_guarded_clean () =
@@ -81,9 +80,107 @@ let test_e2_guarded_clean () =
     (summarize (suppressed_in (fixture_file "e2_guarded.ml")))
 
 let test_e2_suppressed () =
+  (* one comma-list directive silences both rules at the mutation *)
   check_str "no kept" "" (summarize (kept_in (fixture_file "e2_sup.ml")));
-  check_str "suppressed at the mutation" "E2:7"
+  check_str "suppressed at the mutation" "E2:7;E3:7"
     (summarize (suppressed_in (fixture_file "e2_sup.ml")))
+
+let test_e3_unlocked () =
+  check_str "never-locked write" "E2:4;E3:4"
+    (summarize (kept_in (fixture_file "e3_unlocked.ml")))
+
+let test_e3_twolocks () =
+  (* every access is guarded (E2 silent) but under different mutexes *)
+  match kept_in (fixture_file "e3_twolocks.ml") with
+  | [ f ] ->
+      check "rule" true (f.Rules.rule = Rules.E3);
+      let has = contains f.Rules.message in
+      check "empty intersection called out" true (has "no common mutex");
+      check "names first lock" true (has "lock_a");
+      check "names second lock" true (has "lock_b");
+      check "gives both paths" true (has "(path: ")
+  | fs -> Alcotest.failf "expected one E3, got [%s]" (summarize fs)
+
+let test_e3_atomic_clean () =
+  check_str "Atomic.t cell is a guard" ""
+    (summarize (kept_in (fixture_file "e3_atomic.ml")))
+
+let test_e3_dls_clean () =
+  check_str "DLS cell is domain-local" ""
+    (summarize (kept_in (fixture_file "e3_dls.ml")))
+
+let test_e3_escape () =
+  (* the engine fuel-cell shape: DLS cell leaked through an accessor,
+     written cross-domain through a registry handle *)
+  match kept_in (fixture_file "e3_escape.ml") with
+  | [ f ] ->
+      check "rule" true (f.Rules.rule = Rules.E3);
+      let has = contains f.Rules.message in
+      check "names the leaking accessor" true (has "current_fuel_cell");
+      check "escaped-cell wording" true (has "escaped mutable cell");
+      check "suggests the fix" true (has "Atomic.t")
+  | fs -> Alcotest.failf "expected one escape E3, got [%s]" (summarize fs)
+
+let test_e3_baselinable () =
+  let file = fixture_file "e3_twolocks.ml" in
+  let baseline =
+    match Baseline.of_string ("E3 " ^ file ^ " 1") with
+    | Ok b -> b
+    | Error m -> Alcotest.failf "baseline rejected: %s" m
+  in
+  let actionable, baselined, stale = Baseline.apply baseline (kept_in file) in
+  check_str "absorbed" "" (summarize actionable);
+  check_int "baselined one E3" 1 (List.length baselined);
+  check "no stale" true (stale = [])
+
+let test_e4_checkact () =
+  match kept_in (fixture_file "e4_checkact.ml") with
+  | [ f ] ->
+      check "rule" true (f.Rules.rule = Rules.E4);
+      check_int "at the dependent write" 12 f.Rules.line;
+      check "check-then-act wording" true
+        (contains f.Rules.message "check-then-act")
+  | fs -> Alcotest.failf "expected one E4, got [%s]" (summarize fs)
+
+let test_e4_get_then_set () =
+  match kept_in (fixture_file "e4_atomic.ml") with
+  | [ f ] ->
+      check "rule" true (f.Rules.rule = Rules.E4);
+      check_int "at the Atomic.set" 7 f.Rules.line;
+      check "suggests RMW primitives" true
+        (contains f.Rules.message "compare_and_set")
+  | fs -> Alcotest.failf "expected one E4, got [%s]" (summarize fs)
+
+let test_e4_cas_clean () =
+  check_str "compare_and_set loop is the fix, not a finding" ""
+    (summarize (kept_in (fixture_file "e4_cas.ml")))
+
+let test_cache_warm_identical () =
+  (* a fresh cache dir: cold run stores, warm run hits everything and
+     reproduces the exact same findings *)
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "lbclint-test-cache"
+  in
+  let () =
+    (* scrub leftovers from an earlier test-process run *)
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir)
+  in
+  let run () =
+    Deep.run ~cache_dir:dir ~build_dirs:[ "deep_fixtures" ] ~source_root:".."
+      ()
+  in
+  let cold = run () in
+  let warm = run () in
+  check "cold run misses" true (cold.Deep.cache_misses > 0);
+  check_int "cold run has no hits" 0 cold.Deep.cache_hits;
+  check "warm run hits" true (warm.Deep.cache_hits > 0);
+  check_int "warm run misses nothing" 0 warm.Deep.cache_misses;
+  check "identical kept findings" true (cold.Deep.kept = warm.Deep.kept);
+  check "identical suppressed findings" true
+    (cold.Deep.suppressed = warm.Deep.suppressed);
+  check_int "same unit count" cold.Deep.units warm.Deep.units
 
 let test_m1_fires () =
   check_str "unicast outside sanctioned dirs" "M1:3"
@@ -131,6 +228,7 @@ let test_x1_does_not_gate () =
       baselined = [];
       stale = [];
       errors = [];
+      deep = None;
     }
   in
   check_int "exit 0 on X1-only outcome" 0 (Driver.exit_code x1_only);
@@ -140,7 +238,9 @@ let test_x1_does_not_gate () =
   check_int "exit 1 on M1" 1 (Driver.exit_code with_m1)
 
 let test_rule_metadata () =
-  check "deep rule set" true (Rules.deep = [ Rules.E1; Rules.E2; Rules.M1; Rules.X1 ]);
+  check "deep rule set" true
+    (Rules.deep
+    = [ Rules.E1; Rules.E2; Rules.E3; Rules.E4; Rules.M1; Rules.X1 ]);
   List.iter
     (fun r -> check (Rules.id r ^ " described") true (Rules.describe r <> ""))
     Rules.all;
@@ -156,6 +256,8 @@ let test_deep_severities () =
     [
       (Rules.E1, "error");
       (Rules.E2, "error");
+      (Rules.E3, "error");
+      (Rules.E4, "error");
       (Rules.M1, "error");
       (Rules.X1, "warning");
     ]
@@ -186,6 +288,28 @@ let () =
           Alcotest.test_case "Mutex.protect guards" `Quick
             test_e2_guarded_clean;
           Alcotest.test_case "inline suppression" `Quick test_e2_suppressed;
+        ] );
+      ( "e3",
+        [
+          Alcotest.test_case "never-locked write" `Quick test_e3_unlocked;
+          Alcotest.test_case "disjoint locksets" `Quick test_e3_twolocks;
+          Alcotest.test_case "Atomic.t negative" `Quick test_e3_atomic_clean;
+          Alcotest.test_case "DLS negative" `Quick test_e3_dls_clean;
+          Alcotest.test_case "escaped fuel-cell shape" `Quick test_e3_escape;
+          Alcotest.test_case "baselinable" `Quick test_e3_baselinable;
+        ] );
+      ( "e4",
+        [
+          Alcotest.test_case "released-lock check-then-act" `Quick
+            test_e4_checkact;
+          Alcotest.test_case "Atomic get-then-set" `Quick test_e4_get_then_set;
+          Alcotest.test_case "compare_and_set negative" `Quick
+            test_e4_cas_clean;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "warm run identical to cold" `Quick
+            test_cache_warm_identical;
         ] );
       ( "m1",
         [

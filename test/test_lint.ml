@@ -189,7 +189,16 @@ let null_fmt =
 let test_main_exit_codes () =
   let run roots baseline =
     Driver.main ~fmt:null_fmt
-      { Driver.roots; baseline; write_baseline = false; json = false; deep = false }
+      {
+        Driver.roots;
+        baseline;
+        write_baseline = false;
+        update_baseline = false;
+        json = false;
+        deep = false;
+        sarif = None;
+        deep_cache = None;
+      }
   in
   check_int "clean tree" 0 (run [ fixture "lib/d2_sorted.ml" ] None);
   check_int "findings" 1 (run [ fixture "lib/d2_fold.ml" ] None);
@@ -214,13 +223,15 @@ let test_json_render () =
   let o = Driver.analyze ~roots:[ fixture "lib/d1_clock.ml" ] () in
   let s = render_to_string o in
   let contains = str_contains s in
-  check "format tag" true (contains "\"format\":\"lbclint/2\"");
+  check "format tag" true (contains "\"format\":\"lbclint/3\"");
   check "rule emitted" true (contains "\"rule\":\"D1\"");
   check "file emitted" true (contains "lint_fixtures/lib/d1_clock.ml");
-  check "exit emitted" true (contains "\"exit\":1")
+  check "exit emitted" true (contains "\"exit\":1");
+  (* shallow-only runs carry a null deep block, never the /2 shape *)
+  check "deep block present" true (contains "\"deep\":null")
 
 let test_json_stale_entries () =
-  (* an unmatched baseline entry surfaces under the lbclint/2 "stale"
+  (* an unmatched baseline entry surfaces under the lbclint/3 "stale"
      key with its rule, file and unmatched count *)
   let baseline = load_fixture_baseline () in
   let o = Driver.analyze ~baseline ~roots:[ fixture "lib/d2_fold.ml" ] () in
@@ -228,6 +239,84 @@ let test_json_stale_entries () =
   check "stale array" true
     (str_contains s
        "\"stale\":[{\"rule\":\"D2\",\"file\":\"lint_fixtures/lib/d2_baselined.ml\",\"unmatched\":1}]")
+
+let test_update_baseline_shrinks_and_drops () =
+  (* unit-level: an over-counted entry shrinks to the live count, a
+     stale entry for a file with no findings drops entirely, and the
+     machinery never invents entries for unbaselined findings *)
+  let baseline =
+    match
+      Baseline.of_string
+        ("D2 " ^ fixture "lib/d2_fold.ml" ^ " 5\nD4 "
+       ^ fixture "lib/gone.ml" ^ " 2\n")
+    with
+    | Ok b -> b
+    | Error m -> Alcotest.failf "baseline rejected: %s" m
+  in
+  let o = Driver.analyze ~roots:[ fixture "lib/d2_fold.ml" ] () in
+  let updated, dropped = Baseline.update baseline o.Driver.actionable in
+  check_int "one entry kept" 1 (List.length updated);
+  check "kept entry shrunk to live count" true
+    (str_contains (Baseline.to_string updated)
+       ("D2 " ^ fixture "lib/d2_fold.ml" ^ " 1\n"));
+  check "shrinkage reported" true
+    (List.mem ("D2", fixture "lib/d2_fold.ml", 4) dropped);
+  check "stale entry dropped" true
+    (List.mem ("D4", fixture "lib/gone.ml", 2) dropped)
+
+let test_update_baseline_end_to_end () =
+  (* driver-level --update-baseline: the file on disk is rewritten and
+     the run then gates against the pruned entries *)
+  let path = Filename.temp_file "lbclint_test" ".baseline" in
+  Out_channel.with_open_bin path (fun oc ->
+      output_string oc
+        ("D2 " ^ fixture "lib/d2_fold.ml" ^ " 5\nD4 "
+       ^ fixture "lib/gone.ml" ^ " 2\n"));
+  let config baseline update_baseline write_baseline =
+    {
+      Driver.roots = [ fixture "lib/d2_fold.ml" ];
+      baseline;
+      write_baseline;
+      update_baseline;
+      json = false;
+      deep = false;
+      sarif = None;
+      deep_cache = None;
+    }
+  in
+  let code = Driver.main ~fmt:null_fmt (config (Some path) true false) in
+  check_int "gates clean against the pruned baseline" 0 code;
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  Sys.remove path;
+  check "live entry shrunk on disk" true
+    (str_contains s ("D2 " ^ fixture "lib/d2_fold.ml" ^ " 1\n"));
+  check "stale entry gone from disk" true (not (str_contains s "gone.ml"));
+  (* misuse is rejected before anything is touched *)
+  check_int "--update-baseline without --baseline" 2
+    (Driver.main ~fmt:null_fmt (config None true false));
+  check_int "--update-baseline with --write-baseline" 2
+    (Driver.main ~fmt:null_fmt (config (Some path) true true))
+
+let test_sarif_render () =
+  let o = Driver.analyze ~roots:[ fixture "lib/d1_clock.ml" ] () in
+  let sup = Driver.analyze ~roots:[ fixture "lib/d1_suppressed.ml" ] () in
+  let s =
+    Lbc_lint.Sarif.render ~actionable:o.Driver.actionable
+      ~suppressed:sup.Driver.suppressed ~baselined:[]
+  in
+  let contains = str_contains s in
+  check "schema version" true (contains "\"version\":\"2.1.0\"");
+  check "schema uri" true (contains "sarif-2.1.0.json");
+  check "tool name" true
+    (contains "\"driver\":{\"name\":\"lbclint\",\"version\":\"3\"");
+  check "rule registry carries the deep rules" true
+    (contains "{\"id\":\"E3\"" && contains "{\"id\":\"E4\"");
+  check "result for the finding" true (contains "\"ruleId\":\"D1\"");
+  check "uri is the finding path" true
+    (contains "\"uri\":\"lint_fixtures/lib/d1_clock.ml\"");
+  check "region emitted" true (contains "\"startLine\":2,\"startColumn\":");
+  check "inline suppression marked inSource" true
+    (contains "\"suppressions\":[{\"kind\":\"inSource\"}]")
 
 let test_default_roots_include_examples () =
   check_str "default roots" "lib bin bench test examples"
@@ -290,6 +379,11 @@ let () =
           Alcotest.test_case "json report" `Quick test_json_render;
           Alcotest.test_case "json stale baseline entries" `Quick
             test_json_stale_entries;
+          Alcotest.test_case "update-baseline shrinks and drops" `Quick
+            test_update_baseline_shrinks_and_drops;
+          Alcotest.test_case "update-baseline end to end" `Quick
+            test_update_baseline_end_to_end;
+          Alcotest.test_case "sarif report" `Quick test_sarif_render;
           Alcotest.test_case "default roots include examples" `Quick
             test_default_roots_include_examples;
         ] );
